@@ -1,0 +1,107 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures, prints it in
+paper-like text form, and asserts the qualitative *shape* the paper reports
+(who wins, where it degrades).  Heavy artefacts — the synthetic worlds, the
+full rank-prediction grid — are session-scoped so the cost is paid once.
+
+Sizing: the worlds are laptop-scale versions of the paper's networks and
+the census runs at ``e_max = 3`` (the paper uses 5–6 on a C++ engine); the
+deviations and their rationale are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    ImdbConfig,
+    LoadConfig,
+    MagConfig,
+    SyntheticIMDB,
+    SyntheticLOAD,
+    SyntheticMAG,
+)
+from repro.experiments import (
+    EmbeddingParams,
+    LabelTaskConfig,
+    RankPredictionExperiment,
+    RankTaskConfig,
+)
+
+#: Embedding preset for all benches (see EmbeddingParams.fast docs).
+BENCH_EMBEDDING = EmbeddingParams.fast()
+
+
+@pytest.fixture(scope="session")
+def mag_world() -> SyntheticMAG:
+    """The rank-prediction world: 5 conferences, 2007-2015, 60 institutions."""
+    return SyntheticMAG(MagConfig())
+
+
+@pytest.fixture(scope="session")
+def rank_config() -> RankTaskConfig:
+    return RankTaskConfig(
+        train_years=tuple(range(2011, 2015)),
+        test_year=2015,
+        emax=3,
+        forest_trees=150,
+        embedding_params=BENCH_EMBEDDING,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def rank_experiment(mag_world, rank_config) -> RankPredictionExperiment:
+    return RankPredictionExperiment(mag_world, rank_config)
+
+
+@pytest.fixture(scope="session")
+def rank_result(rank_experiment):
+    """The full Figure 3 grid, computed once for fig3/table1 benches."""
+    return rank_experiment.run()
+
+
+@pytest.fixture(scope="session")
+def load_dataset() -> SyntheticLOAD:
+    return SyntheticLOAD(LoadConfig())
+
+
+@pytest.fixture(scope="session")
+def imdb_dataset() -> SyntheticIMDB:
+    return SyntheticIMDB(ImdbConfig())
+
+
+@pytest.fixture(scope="session")
+def mag_label_graph(mag_world):
+    """The six-label MAG view for label prediction (Figure 2 right).
+
+    Three years keep venue/field node degrees moderate so the per-root
+    census stays bench-sized (the paper's full MAG run took hours on C++).
+    """
+    return mag_world.build_label_graph(years=mag_world.config.years[-3:])
+
+
+@pytest.fixture(scope="session")
+def label_graphs(load_dataset, imdb_dataset, mag_label_graph):
+    """The three evaluation networks keyed by paper name."""
+    return {
+        "LOAD": load_dataset.graph,
+        "IMDB": imdb_dataset.graph,
+        "MAG": mag_label_graph,
+    }
+
+
+def label_task_config(**overrides) -> LabelTaskConfig:
+    """Bench-sized label-prediction config shared across Figure 5 benches."""
+    defaults = dict(
+        per_label=32,
+        emax=3,
+        dmax_percentile=90.0,
+        n_repeats=4,
+        embedding_params=BENCH_EMBEDDING,
+        logreg_grid=(0.1, 1.0, 10.0),
+        seed=0,
+    )
+    defaults.update(overrides)
+    return LabelTaskConfig(**defaults)

@@ -1,0 +1,46 @@
+"""Ablation: census keying by canonical tuple vs string vs rolling hash.
+
+DESIGN.md calls out the Section 3.2 claim that the rolling integer hash is
+cheaper than string conversion + hashing.  This bench times the three
+keying modes of the census on identical workloads and checks their
+outputs' consistency (string keys are bijective with canonical keys; hash
+keys merge some classes but preserve totals).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.census import CensusConfig, census_total, subgraph_census
+from repro.datasets import sample_nodes_per_label
+
+
+@pytest.fixture(scope="module")
+def workload(request):
+    load = request.getfixturevalue("load_dataset")
+    graph = load.graph
+    nodes, _ = sample_nodes_per_label(graph, 6, rng=1)
+    dmax = int(np.percentile(graph.degrees(), 90))
+    return graph, nodes, dmax
+
+
+def _run_all(graph, nodes, dmax, key):
+    config = CensusConfig(max_edges=3, max_degree=dmax, key=key)
+    return [subgraph_census(graph, int(node), config) for node in nodes]
+
+
+@pytest.mark.parametrize("key", ["canonical", "string", "hash"])
+def test_ablation_census_key_mode(benchmark, workload, key):
+    graph, nodes, dmax = workload
+    results = benchmark(lambda: _run_all(graph, nodes, dmax, key))
+    assert all(census_total(c) > 0 for c in results)
+
+
+def test_ablation_key_modes_agree(workload):
+    graph, nodes, dmax = workload
+    canonical = _run_all(graph, nodes, dmax, "canonical")
+    strings = _run_all(graph, nodes, dmax, "string")
+    hashed = _run_all(graph, nodes, dmax, "hash")
+    for c, s, h in zip(canonical, strings, hashed):
+        assert census_total(c) == census_total(s) == census_total(h)
+        assert len(c) == len(s)
+        assert len(h) <= len(c)

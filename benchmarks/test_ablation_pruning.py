@@ -1,0 +1,67 @@
+"""Ablation: vocabulary pruning of rare subgraph codes.
+
+The census vocabulary is heavy-tailed: most codes occur around a single
+root.  ``FeatureSpace.prune`` drops codes below a support threshold; this
+bench measures how much of the matrix width disappears at what cost in
+downstream macro-F1 on the LOAD network — the practical trade-off a user
+of the library faces before fitting linear models on census counts.
+"""
+
+import numpy as np
+
+from repro.core.census import CensusConfig
+from repro.core.features import FeatureSpace, SubgraphFeatureExtractor
+from repro.experiments.label_prediction import LabelPredictionExperiment
+from repro.ml import StandardScaler, macro_f1, train_test_split, tune_regularization
+from repro.ml.preprocessing import log1p_counts
+from benchmarks.conftest import label_task_config
+
+SUPPORT_LEVELS = (1, 2, 4, 8)
+
+
+def test_ablation_vocabulary_pruning(benchmark, load_dataset):
+    graph = load_dataset.graph
+    # e_max = 4: the heavy-tailed regime where pruning has bite (at the
+    # default e_max = 3 the LOAD vocabulary is barely tail-heavy).
+    config = label_task_config(per_label=30, emax=4)
+    experiment = LabelPredictionExperiment(graph, config)
+    dmax = int(np.percentile(graph.degrees(), 90))
+
+    def run():
+        census_config = CensusConfig(
+            max_edges=config.emax, max_degree=dmax, mask_start_label=True
+        )
+        extractor = SubgraphFeatureExtractor(census_config)
+        censuses = extractor.census_many(graph, experiment.nodes)
+        full = FeatureSpace().fit(censuses)
+        rows = []
+        for support in SUPPORT_LEVELS:
+            space = full.prune(censuses, min_nodes=support)
+            X = log1p_counts(space.to_matrix(censuses))
+            X_train, X_test, y_train, y_test = train_test_split(
+                X, experiment.targets, test_size=0.3, rng=0,
+                stratify=experiment.targets,
+            )
+            scaler = StandardScaler().fit(X_train)
+            model = tune_regularization(
+                scaler.transform(X_train), y_train, grid=(0.1, 1.0), rng=0
+            )
+            f1 = macro_f1(y_test, model.predict(scaler.transform(X_test)))
+            rows.append({"support": support, "columns": len(space), "macro_f1": f1})
+        return len(full), rows
+
+    full_width, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(f"Ablation -- vocabulary pruning (LOAD, full width {full_width})")
+    print(f"{'min support':>11} {'columns':>8} {'macroF1':>8}")
+    for row in rows:
+        print(f"{row['support']:>11} {row['columns']:>8} {row['macro_f1']:>8.3f}")
+
+    # Width shrinks monotonically with the support threshold.
+    widths = [row["columns"] for row in rows]
+    assert widths == sorted(widths, reverse=True)
+    assert widths[0] == full_width  # support 1 keeps every observed code
+    # Moderate pruning does not destroy the features.
+    best = max(row["macro_f1"] for row in rows)
+    assert rows[1]["macro_f1"] >= best - 0.15

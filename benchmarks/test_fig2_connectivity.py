@@ -1,0 +1,46 @@
+"""Figure 2: label connectivity graphs of the three evaluation networks.
+
+Paper claim: MAG's rank view links I-A-P with paper-paper citations; the
+six-label MAG view is a tree of labels around P (plus the P loop); LOAD is
+fully connected including all four self loops; IMDB is a star through M
+with no loops.
+"""
+
+from repro.core import label_connectivity
+from repro.datasets import IMDB_SCHEMA, LOAD_SCHEMA, MAG_LABEL_SCHEMA
+
+
+def test_fig2_label_connectivity(benchmark, label_graphs, mag_world):
+    def run():
+        return {
+            name: label_connectivity(graph) for name, graph in label_graphs.items()
+        } | {"MAG-rank": label_connectivity(mag_world.build_rank_graph("KDD", 2014))}
+
+    connectivity = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print("Figure 2 -- label connectivity graphs")
+    for name, lc in connectivity.items():
+        print(f"[{name}]")
+        print(lc.render())
+
+    # LOAD: complete over 4 labels with all self loops -> 10 pairs.
+    load = connectivity["LOAD"]
+    assert load.has_loops
+    assert len(load.label_pairs()) == 10
+    assert LOAD_SCHEMA.validate(load) == []
+
+    # IMDB: star through M, no loops, exactly 5 pairs.
+    imdb = connectivity["IMDB"]
+    assert not imdb.has_loops
+    assert len(imdb.label_pairs()) == 5
+    assert IMDB_SCHEMA.validate(imdb) == []
+
+    # MAG label view: P is the hub label, P-P citations give the only loop.
+    mag = connectivity["MAG"]
+    assert mag.has_loops
+    assert MAG_LABEL_SCHEMA.validate(mag) == []
+
+    # The e_max bound differs accordingly (Section 3.1).
+    assert imdb.collision_free_emax() == 5
+    assert load.collision_free_emax() == 4

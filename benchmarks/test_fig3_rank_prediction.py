@@ -1,0 +1,41 @@
+"""Figure 3: NDCG per regressor, feature family, and conference.
+
+Paper claims (shape, not absolute numbers): classic and subgraph features
+perform well overall while embedded features are consistently worse; for
+the stable methods (random forest, Bayesian ridge) subgraph features are at
+least competitive with classic features.
+"""
+
+import numpy as np
+
+from repro.experiments import render_figure3
+from repro.experiments.rank_prediction import FEATURE_FAMILIES
+
+
+def test_fig3_rank_prediction_grid(benchmark, rank_result):
+    result = benchmark.pedantic(lambda: rank_result, rounds=1, iterations=1)
+
+    print()
+    print(render_figure3(result))
+
+    conferences = result.conferences()
+    assert len(conferences) == 5
+
+    # Every cell of the grid exists and is a valid NDCG.
+    for regressor in ("LinRegr", "DecTree", "RanForest", "BayRidge"):
+        for family in FEATURE_FAMILIES:
+            for conference in conferences:
+                score = result.ndcg[(regressor, family, conference)]
+                assert 0.0 <= score <= 1.0
+
+    # Shape: for the stable regressors, label-aware features beat the
+    # average embedding on average over conferences.
+    for regressor in ("RanForest", "BayRidge"):
+        informative = np.mean(
+            [result.average(regressor, f) for f in ("classic", "subgraph", "combined")]
+        )
+        embedded = np.mean(
+            [result.average(regressor, f) for f in ("node2vec", "deepwalk", "line")]
+        )
+        print(f"{regressor}: informative avg {informative:.3f} vs embedded avg {embedded:.3f}")
+        assert informative > embedded

@@ -1,0 +1,50 @@
+"""Figure 5A-C: label prediction macro-F1 vs training-set size.
+
+Paper claims (shape): heterogeneous subgraph features outperform all three
+embeddings by a large margin on every dataset; among the embeddings LINE is
+the strongest; all methods benefit from more training data on the hardest
+dataset (IMDB).
+"""
+
+import numpy as np
+
+from repro.experiments import render_sweep
+from repro.experiments.label_prediction import LabelPredictionExperiment
+from benchmarks.conftest import label_task_config
+
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def _run_dataset(graph):
+    config = label_task_config(train_fractions=FRACTIONS)
+    experiment = LabelPredictionExperiment(graph, config)
+    return experiment.run_training_sweep()
+
+
+def test_fig5abc_label_prediction(benchmark, label_graphs):
+    sweeps = benchmark.pedantic(
+        lambda: {name: _run_dataset(graph) for name, graph in label_graphs.items()},
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    for name, sweep in sweeps.items():
+        print(render_sweep(f"Figure 5 ({name}) -- macro-F1 vs training size", sweep))
+        print()
+
+    for name, sweep in sweeps.items():
+        # Subgraph features beat every embedding on the averaged curve.
+        subgraph_curve = np.mean([sweep.mean("subgraph", x) for x in FRACTIONS])
+        for method in ("node2vec", "deepwalk", "line"):
+            method_curve = np.mean([sweep.mean(method, x) for x in FRACTIONS])
+            assert subgraph_curve > method_curve, (
+                f"{name}: subgraph {subgraph_curve:.3f} vs {method} {method_curve:.3f}"
+            )
+        # Subgraph features are well above label-count chance at 90% train.
+        chance = 1.0 / len(label_graphs[name].labelset)
+        assert sweep.mean("subgraph", 0.9) > 1.5 * chance
+
+    # More training data helps subgraph features on the hardest dataset.
+    imdb = sweeps["IMDB"]
+    assert imdb.mean("subgraph", 0.9) >= imdb.mean("subgraph", 0.1) - 0.05

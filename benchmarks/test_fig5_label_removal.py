@@ -1,0 +1,64 @@
+"""Figure 5D-F: label prediction with partially removed node labels.
+
+Paper claims (shape): subgraph-feature performance drops as node labels are
+replaced by an unlabeled-label, but stays above node2vec and DeepWalk even
+at 75% removal; embeddings are invariant (flat lines) because they ignore
+labels entirely.
+"""
+
+import numpy as np
+
+from repro.experiments import render_sweep
+from repro.experiments.label_prediction import LabelPredictionExperiment
+from benchmarks.conftest import label_task_config
+
+REMOVALS = (0.0, 0.25, 0.5, 0.75)
+
+
+def test_fig5def_label_removal(benchmark, label_graphs):
+    def run():
+        sweeps = {}
+        for name, graph in label_graphs.items():
+            config = label_task_config(
+                removal_fractions=REMOVALS, n_repeats=3
+            )
+            experiment = LabelPredictionExperiment(graph, config)
+            sweeps[name] = experiment.run_label_removal()
+        return sweeps
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    for name, sweep in sweeps.items():
+        print(render_sweep(f"Figure 5 ({name}) -- macro-F1 vs removed labels", sweep))
+        print()
+
+    for name, sweep in sweeps.items():
+        # Embeddings are invariant to label removal: identical score lists.
+        for method in ("node2vec", "deepwalk", "line"):
+            base = sweep.scores[(method, 0.0)]
+            for removal in REMOVALS[1:]:
+                assert sweep.scores[(method, removal)] == base
+
+        # Subgraph features degrade (or stay flat) with removal overall.
+        assert (
+            sweep.mean("subgraph", 0.75) <= sweep.mean("subgraph", 0.0) + 0.05
+        )
+
+        # With full labels, subgraph features beat the walk embeddings.
+        walk_best_full = max(
+            sweep.mean("node2vec", 0.0), sweep.mean("deepwalk", 0.0)
+        )
+        assert sweep.mean("subgraph", 0.0) > walk_best_full, name
+
+    # Even at 75% removal, subgraph features stay at or above the weaker
+    # walks on most datasets (the paper's robustness claim; at bench-scale
+    # repeat counts the star-shaped IMDB — the paper's own closest call —
+    # can dip within noise).
+    robust = sum(
+        1
+        for sweep in sweeps.values()
+        if sweep.mean("subgraph", 0.75)
+        > max(sweep.mean("node2vec", 0.75), sweep.mean("deepwalk", 0.75)) - 0.03
+    )
+    assert robust >= 2

@@ -1,0 +1,50 @@
+"""Table 1: average NDCG over conferences per method and feature type.
+
+Paper claims (shape): the best cells belong to random forests with subgraph
+or combined features; subgraph features beat classic for Bayesian ridge;
+all embedding rows trail the label-aware rows, with DeepWalk weakest and
+LINE the best embedding for random forests.
+"""
+
+from repro.experiments import render_table1
+
+
+def test_table1_average_ndcg(benchmark, rank_result):
+    result = benchmark.pedantic(lambda: rank_result, rounds=1, iterations=1)
+
+    print()
+    print(render_table1(result))
+
+    table = result.average_table()
+
+    # Label-aware features dominate embeddings for the stable methods.
+    for regressor in ("RanForest", "BayRidge"):
+        weakest_informative = min(
+            table[(regressor, "classic")],
+            table[(regressor, "subgraph")],
+            table[(regressor, "combined")],
+        )
+        best_embedded = max(
+            table[(regressor, "node2vec")],
+            table[(regressor, "deepwalk")],
+            table[(regressor, "line")],
+        )
+        assert weakest_informative > best_embedded - 0.05
+
+    # Subgraph features are competitive with classic features for the
+    # forest (paper: a tie at 0.68 vs 0.64) and ahead for Bayesian ridge.
+    assert table[("RanForest", "subgraph")] >= table[("RanForest", "classic")] - 0.1
+    assert table[("BayRidge", "subgraph")] >= table[("BayRidge", "deepwalk")]
+
+    # The single best informative cell beats the single best embedded cell.
+    informative_best = max(
+        table[(r, f)]
+        for r in ("LinRegr", "DecTree", "RanForest", "BayRidge")
+        for f in ("classic", "subgraph", "combined")
+    )
+    embedded_best = max(
+        table[(r, f)]
+        for r in ("LinRegr", "DecTree", "RanForest", "BayRidge")
+        for f in ("node2vec", "deepwalk", "line")
+    )
+    assert informative_best > embedded_best

@@ -1,0 +1,91 @@
+"""Bring your own data: from raw records to subgraph features.
+
+Walks the full adoption path on external-style data: parse raw relational
+records (here a small in-memory event log), build a labelled edge list,
+save it in the library's interchange format, load it back, validate its
+label structure, extract features, and fit a model — the workflow a
+downstream user of this library would follow with a real dataset.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    CensusConfig,
+    HeteroGraph,
+    SubgraphFeatureExtractor,
+    label_connectivity,
+)
+from repro.io import read_edgelist, write_edgelist
+from repro.ml import RandomForestClassifier, macro_f1, train_test_split
+
+#: Raw records: (customer, product, store) purchase events.
+PURCHASES = [
+    ("ana", "espresso", "downtown"),
+    ("ana", "croissant", "downtown"),
+    ("ben", "espresso", "downtown"),
+    ("ben", "baguette", "harbor"),
+    ("cho", "croissant", "harbor"),
+    ("cho", "baguette", "harbor"),
+    ("dia", "espresso", "downtown"),
+    ("dia", "croissant", "downtown"),
+    ("dia", "macaron", "harbor"),
+    ("eli", "macaron", "harbor"),
+    ("eli", "baguette", "harbor"),
+]
+
+
+def records_to_graph(purchases) -> HeteroGraph:
+    """Customers (C), products (P), stores (S); an edge per relationship."""
+    node_labels: dict[str, str] = {}
+    edges: set[tuple[str, str]] = set()
+    for customer, product, store in purchases:
+        node_labels[f"c:{customer}"] = "C"
+        node_labels[f"p:{product}"] = "P"
+        node_labels[f"s:{store}"] = "S"
+        edges.add((f"c:{customer}", f"p:{product}"))
+        edges.add((f"p:{product}", f"s:{store}"))
+    return HeteroGraph.from_edges(node_labels, edges)
+
+
+def main() -> None:
+    graph = records_to_graph(PURCHASES)
+    print(graph)
+    print(label_connectivity(graph).render())
+
+    # Persist and reload through the interchange format.
+    with tempfile.TemporaryDirectory() as tmp:
+        target = Path(tmp) / "purchases.hel"
+        write_edgelist(graph, target)
+        graph = read_edgelist(target)
+        print(f"\nround-tripped through {target.name}: {graph}")
+
+    # Features for every node, with the node's own label masked so a model
+    # must work from structure alone.
+    extractor = SubgraphFeatureExtractor(
+        CensusConfig(max_edges=3, mask_start_label=True)
+    )
+    nodes = list(range(graph.num_nodes))
+    features = extractor.fit_transform(graph, nodes)
+    X = np.log1p(features.matrix)
+    y = np.array([graph.labelset.name(graph.label_of(v)) for v in nodes])
+    print(f"\nfeature matrix: {X.shape[0]} nodes x {X.shape[1]} subgraph classes")
+
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_size=0.4, rng=0, stratify=y
+    )
+    model = RandomForestClassifier(n_estimators=30, random_state=0)
+    model.fit(X_train, y_train)
+    predictions = model.predict(X_test)
+    print(f"role prediction macro-F1: {macro_f1(y_test, predictions):.3f}")
+    for node_type, prediction in zip(y_test, predictions):
+        marker = "ok " if node_type == prediction else "MISS"
+        print(f"  {marker} true={node_type} predicted={prediction}")
+
+
+if __name__ == "__main__":
+    main()

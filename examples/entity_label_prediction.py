@@ -1,0 +1,56 @@
+"""Node-label prediction on a dense entity co-occurrence network.
+
+Reproduces the Section 4.3 workflow on a LOAD-style network: sample nodes
+per label, extract masked subgraph features and DeepWalk/LINE embeddings,
+train one-vs-rest logistic regression, and compare macro-F1 across
+training sizes — plus the label-removal robustness sweep of Figure 5D-F.
+
+Run:  python examples/entity_label_prediction.py        (~1 minute)
+"""
+
+from repro.datasets import LoadConfig, SyntheticLOAD
+from repro.experiments import (
+    EmbeddingParams,
+    LabelPredictionExperiment,
+    LabelTaskConfig,
+    render_sweep,
+)
+
+
+def main() -> None:
+    load = SyntheticLOAD(
+        LoadConfig(
+            num_locations=150,
+            num_organizations=100,
+            num_actors=180,
+            num_dates=80,
+            mean_degree=12,
+            seed=7,
+        )
+    )
+    print(load.graph)
+
+    config = LabelTaskConfig(
+        per_label=30,
+        emax=3,
+        dmax_percentile=90.0,
+        train_fractions=(0.3, 0.6, 0.9),
+        n_repeats=5,
+        removal_fractions=(0.0, 0.5),
+        embedding_params=EmbeddingParams.fast(),
+        logreg_grid=(0.1, 1.0, 10.0),
+        seed=0,
+    )
+    experiment = LabelPredictionExperiment(load.graph, config)
+
+    print("\nmacro-F1 vs training size (Figure 5A style):")
+    sweep = experiment.run_training_sweep(features=("subgraph", "deepwalk", "line"))
+    print(render_sweep("LOAD", sweep))
+
+    print("\nmacro-F1 vs removed labels (Figure 5D style):")
+    removal = experiment.run_label_removal(features=("subgraph", "deepwalk"))
+    print(render_sweep("LOAD, 90% train", removal))
+
+
+if __name__ == "__main__":
+    main()

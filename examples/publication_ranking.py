@@ -1,0 +1,61 @@
+"""Institution rank prediction on a synthetic publication network.
+
+Reproduces the Section 4.2 workflow end to end on a small world: build a
+MAG-like network with a planted KDD-Cup-style relevance ground truth, train
+the four regressors on classic vs subgraph vs combined features, report
+NDCG@20 for the held-out year, and decode the most discriminative
+subgraphs the random forest found (Figure 4's analysis).
+
+Run:  python examples/publication_ranking.py        (~1 minute)
+"""
+
+from repro.core import rank_features
+from repro.datasets import MagConfig, SyntheticMAG
+from repro.experiments import (
+    EmbeddingParams,
+    RankPredictionExperiment,
+    RankTaskConfig,
+    render_table1,
+)
+
+
+def main() -> None:
+    mag = SyntheticMAG(
+        MagConfig(
+            num_institutions=30,
+            authors_per_institution=6,
+            papers_per_conference_year=40,
+            conferences=("KDD", "ICML"),
+            years=tuple(range(2010, 2016)),
+            seed=42,
+        )
+    )
+    config = RankTaskConfig(
+        train_years=(2012, 2013, 2014),
+        test_year=2015,
+        emax=3,
+        forest_trees=80,
+        embedding_params=EmbeddingParams.fast(),
+        seed=0,
+    )
+    experiment = RankPredictionExperiment(mag, config)
+
+    print("running rank prediction (classic / subgraph / combined / LINE)...")
+    result = experiment.run(
+        families=("classic", "subgraph", "combined", "line"),
+        regressors=("LinRegr", "DecTree", "RanForest", "BayRidge"),
+    )
+    print()
+    print(render_table1(result, families=("classic", "subgraph", "combined", "line")))
+    print()
+
+    # --- Figure 4 style interpretation --------------------------------
+    print("most discriminative subgraphs (random forest, KDD):")
+    model, space = experiment.fit_forest_on_family("KDD", "subgraph")
+    graph = mag.build_rank_graph("KDD", 2012)
+    for feature in rank_features(model.feature_importances_, space, graph.labelset, top=3):
+        print(" ", feature.render(graph.labelset))
+
+
+if __name__ == "__main__":
+    main()

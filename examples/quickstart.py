@@ -1,0 +1,79 @@
+"""Quickstart: heterogeneous subgraph features in five minutes.
+
+Builds the small publication network of the paper's Figure 1A, runs the
+rooted subgraph census around an institution, prints every discovered
+subgraph class with its count and a human-readable decoding, and finally
+assembles an aligned feature matrix for several nodes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CensusConfig,
+    HeteroGraph,
+    SubgraphFeatureExtractor,
+    code_to_string,
+    describe_code,
+    label_connectivity,
+    subgraph_census,
+)
+
+
+def build_network() -> HeteroGraph:
+    """A miniature scientific publication network: institutions (I),
+    authors (A), and papers (P) with one citation."""
+    return HeteroGraph.from_edges(
+        node_labels={
+            "MIT": "I",
+            "ETH": "I",
+            "alice": "A",
+            "bob": "A",
+            "carol": "A",
+            "paper-1": "P",
+            "paper-2": "P",
+        },
+        edges=[
+            ("MIT", "alice"),
+            ("MIT", "bob"),
+            ("ETH", "carol"),
+            ("alice", "paper-1"),
+            ("bob", "paper-1"),
+            ("carol", "paper-1"),
+            ("carol", "paper-2"),
+            ("paper-1", "paper-2"),
+        ],
+    )
+
+
+def main() -> None:
+    graph = build_network()
+    print(graph)
+    print()
+    print(label_connectivity(graph).render())
+    print()
+
+    # --- rooted census around one node --------------------------------
+    config = CensusConfig(max_edges=3)
+    root = graph.index("MIT")
+    counts = subgraph_census(graph, root, config)
+    print(f"rooted subgraphs around MIT (e_max={config.max_edges}):")
+    for code, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        rendered = code_to_string(code, graph.labelset)
+        print(f"  {count:>3} x {rendered:<30} {describe_code(code, graph.labelset)}")
+    print(f"  total: {sum(counts.values())} subgraphs, {len(counts)} classes")
+    print()
+
+    # --- aligned feature matrix for several nodes ---------------------
+    extractor = SubgraphFeatureExtractor(config)
+    nodes = [graph.index(name) for name in ("MIT", "ETH", "alice", "carol")]
+    features = extractor.fit_transform(graph, nodes)
+    print(f"feature matrix: {features.matrix.shape[0]} nodes x "
+          f"{features.num_features} subgraph classes")
+    for row, node in enumerate(features.nodes):
+        name = graph.node_id(node)
+        total = int(features.matrix[row].sum())
+        print(f"  {name:<8} row sum = {total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "Heterogeneous Subgraph Features for Information
+Networks" (Spitz et al., GRADES-NDA'18).
+
+The package is organised as:
+
+* :mod:`repro.core` — the paper's contribution: heterogeneous graphs, the
+  characteristic-sequence encoding, the rooted subgraph census, feature
+  matrices, and interpretability helpers.
+* :mod:`repro.ml` — from-scratch machine-learning substrate (regressors,
+  classifiers, selection, metrics) matching the paper's evaluation setup.
+* :mod:`repro.embeddings` — the three neural baselines: DeepWalk, node2vec,
+  and LINE.
+* :mod:`repro.datasets` — synthetic generators standing in for the paper's
+  MAG, LOAD, and IMDB networks.
+* :mod:`repro.experiments` — end-to-end pipelines reproducing every table
+  and figure of the evaluation section.
+* :mod:`repro.io` — serialisation of labelled graphs.
+
+Quickstart::
+
+    from repro.core import CensusConfig, HeteroGraph, SubgraphFeatureExtractor
+
+    graph = HeteroGraph.from_edges(
+        {"a1": "author", "a2": "author", "p1": "paper"},
+        [("a1", "p1"), ("a2", "p1")],
+    )
+    extractor = SubgraphFeatureExtractor(CensusConfig(max_edges=3))
+    features = extractor.fit_transform(graph, nodes=[graph.index("a1")])
+"""
+
+from repro.core import (
+    CensusConfig,
+    FeatureSpace,
+    HeteroGraph,
+    LabelSet,
+    SubgraphFeatureExtractor,
+    SubgraphFeatures,
+    subgraph_census,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CensusConfig",
+    "FeatureSpace",
+    "HeteroGraph",
+    "LabelSet",
+    "ReproError",
+    "SubgraphFeatureExtractor",
+    "SubgraphFeatures",
+    "subgraph_census",
+    "__version__",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+Exposes the library's day-to-day operations on serialised graphs::
+
+    python -m repro info graph.json
+    python -m repro connectivity graph.hel
+    python -m repro census graph.json --root MIT --emax 4
+    python -m repro features graph.json --nodes MIT,ETH --out features.json
+    python -m repro collisions --labels 2 --max-edges 5 --no-loops
+
+Graphs load from the labelled edge-list format (``.hel``, see
+:mod:`repro.io.edgelist`) or the JSON format (anything else).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import (
+    CensusConfig,
+    SubgraphFeatureExtractor,
+    code_to_string,
+    describe_code,
+    find_collisions,
+    label_connectivity,
+    subgraph_census,
+)
+from repro.core.census import effective_labelset
+from repro.io import read_edgelist, read_graph_json, write_features_json
+
+
+def _load_graph(path: str):
+    path = Path(path)
+    if not path.exists():
+        raise SystemExit(f"error: no such file: {path}")
+    if path.suffix == ".hel":
+        return read_edgelist(path)
+    return read_graph_json(path)
+
+
+def _census_config(args) -> CensusConfig:
+    return CensusConfig(
+        max_edges=args.emax,
+        max_degree=args.dmax,
+        mask_start_label=args.mask,
+    )
+
+
+def cmd_info(args) -> int:
+    graph = _load_graph(args.graph)
+    print(graph)
+    counts = graph.label_counts()
+    for i, name in enumerate(graph.labelset.names):
+        print(f"  {name}: {int(counts[i])} nodes")
+    degrees = graph.degrees()
+    if graph.num_nodes:
+        print(f"  degree: mean {degrees.mean():.2f}, max {int(degrees.max())}")
+    return 0
+
+
+def cmd_connectivity(args) -> int:
+    graph = _load_graph(args.graph)
+    connectivity = label_connectivity(graph)
+    print(connectivity.render())
+    print(f"collision-free e_max: {connectivity.collision_free_emax()}")
+    return 0
+
+
+def cmd_census(args) -> int:
+    graph = _load_graph(args.graph)
+    config = _census_config(args)
+    counts = subgraph_census(graph, graph.index(args.root), config)
+    labelset = effective_labelset(graph, config)
+    for code, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        line = f"{count}\t{code_to_string(code, labelset)}"
+        if args.describe:
+            line += f"\t{describe_code(code, labelset)}"
+        print(line)
+    print(
+        f"# {sum(counts.values())} subgraphs in {len(counts)} classes "
+        f"around {args.root!r}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_features(args) -> int:
+    graph = _load_graph(args.graph)
+    config = _census_config(args)
+    names = [name for name in args.nodes.split(",") if name]
+    if not names:
+        raise SystemExit("error: --nodes must list at least one node id")
+    nodes = [graph.index(name) for name in names]
+    extractor = SubgraphFeatureExtractor(config, n_jobs=args.jobs)
+    features = extractor.fit_transform(graph, nodes)
+    write_features_json(features, effective_labelset(graph, config), args.out)
+    print(
+        f"wrote {features.matrix.shape[0]} x {features.matrix.shape[1]} "
+        f"feature matrix to {args.out}"
+    )
+    return 0
+
+
+def cmd_collisions(args) -> int:
+    report = find_collisions(
+        num_labels=args.labels,
+        max_edges=args.max_edges,
+        allow_same_label_edges=not args.no_loops,
+        stop_at_first=args.first,
+    )
+    print(report.summary())
+    for collision in report.collisions[: args.show]:
+        print(f"  {collision.first}")
+        print(f"  {collision.second}")
+        print("  --")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="heterogeneous subgraph features toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="summarise a graph file")
+    p_info.add_argument("graph")
+    p_info.set_defaults(func=cmd_info)
+
+    p_conn = sub.add_parser("connectivity", help="print the label connectivity graph")
+    p_conn.add_argument("graph")
+    p_conn.set_defaults(func=cmd_connectivity)
+
+    def census_args(p):
+        p.add_argument("graph")
+        p.add_argument("--emax", type=int, default=4, help="max subgraph edges")
+        p.add_argument("--dmax", type=int, default=None, help="hub degree cut-off")
+        p.add_argument("--mask", action="store_true", help="mask the start label")
+
+    p_census = sub.add_parser("census", help="rooted census around one node")
+    census_args(p_census)
+    p_census.add_argument("--root", required=True, help="node id of the start node")
+    p_census.add_argument(
+        "--describe", action="store_true", help="append decoded descriptions"
+    )
+    p_census.set_defaults(func=cmd_census)
+
+    p_feat = sub.add_parser("features", help="extract a feature matrix to JSON")
+    census_args(p_feat)
+    p_feat.add_argument("--nodes", required=True, help="comma-separated node ids")
+    p_feat.add_argument("--out", required=True, help="output JSON path")
+    p_feat.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p_feat.set_defaults(func=cmd_features)
+
+    p_coll = sub.add_parser("collisions", help="enumerate encoding collisions")
+    p_coll.add_argument("--labels", type=int, default=2)
+    p_coll.add_argument("--max-edges", type=int, default=5)
+    p_coll.add_argument(
+        "--no-loops",
+        action="store_true",
+        help="forbid same-label edges (the e_max=5 regime)",
+    )
+    p_coll.add_argument("--first", action="store_true", help="stop at first collision")
+    p_coll.add_argument("--show", type=int, default=3, help="collisions to print")
+    p_coll.set_defaults(func=cmd_collisions)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Core of the reproduction: heterogeneous graphs, the characteristic-
+sequence encoding, the rooted subgraph census, and feature extraction."""
+
+from repro.core.census import CensusConfig, CensusStats, census_total, subgraph_census
+from repro.core.collisions import CollisionReport, find_collisions
+from repro.core.connectivity import LabelConnectivity, label_connectivity
+from repro.core.encoding import (
+    CanonicalCode,
+    canonical_code,
+    code_num_edges,
+    code_num_nodes,
+    code_to_string,
+    encode_subgraph,
+    string_to_code,
+    validate_code,
+)
+from repro.core.features import (
+    FeatureSpace,
+    SubgraphFeatureExtractor,
+    SubgraphFeatures,
+)
+from repro.core.graph import HeteroGraph
+from repro.core.hashing import RollingSubgraphHash
+from repro.core.interpret import RankedFeature, describe_code, rank_features, realize_code
+from repro.core.isomorphism import (
+    SmallGraph,
+    are_isomorphic,
+    enumerate_connected_labelled_graphs,
+)
+from repro.core.labels import MASK_LABEL, LabelSet
+from repro.core.stats import (
+    DegreeSummary,
+    degree_summary,
+    hub_fraction,
+    label_assortativity,
+    mixing_matrix,
+    summarize,
+)
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "hub_fraction",
+    "label_assortativity",
+    "mixing_matrix",
+    "summarize",
+    "CanonicalCode",
+    "CensusConfig",
+    "CensusStats",
+    "CollisionReport",
+    "FeatureSpace",
+    "HeteroGraph",
+    "LabelConnectivity",
+    "LabelSet",
+    "MASK_LABEL",
+    "RankedFeature",
+    "RollingSubgraphHash",
+    "SmallGraph",
+    "SubgraphFeatureExtractor",
+    "SubgraphFeatures",
+    "are_isomorphic",
+    "canonical_code",
+    "census_total",
+    "code_num_edges",
+    "code_num_nodes",
+    "code_to_string",
+    "describe_code",
+    "encode_subgraph",
+    "enumerate_connected_labelled_graphs",
+    "find_collisions",
+    "label_connectivity",
+    "rank_features",
+    "realize_code",
+    "string_to_code",
+    "subgraph_census",
+    "validate_code",
+]

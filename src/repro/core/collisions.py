@@ -1,0 +1,143 @@
+"""Encoding collision analysis (Section 3.1 limitations, Figure 1C).
+
+The characteristic-sequence encoding is only pseudo-canonical: beyond a
+certain subgraph size, non-isomorphic labelled graphs can share a code.  The
+paper reports, by exhaustive enumeration, that encodings are collision-free
+up to ``e_max = 5`` edges when the label connectivity graph has no self
+loops and up to ``e_max = 4`` when it does.
+
+This module re-derives those bounds: it enumerates all connected labelled
+graphs up to a given edge count (via :mod:`repro.core.isomorphism`), buckets
+them by encoding, and reports buckets containing non-isomorphic members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.encoding import CanonicalCode
+from repro.core.isomorphism import (
+    SmallGraph,
+    are_isomorphic,
+    enumerate_connected_labelled_graphs,
+)
+
+
+@dataclass(frozen=True)
+class Collision:
+    """Two non-isomorphic labelled graphs sharing one encoding."""
+
+    code: CanonicalCode
+    first: SmallGraph
+    second: SmallGraph
+
+    @property
+    def num_edges(self) -> int:
+        return self.first.num_edges
+
+
+@dataclass
+class CollisionReport:
+    """Result of a collision sweep up to ``max_edges``.
+
+    Attributes
+    ----------
+    num_labels / allow_same_label_edges / max_edges:
+        The enumeration parameters.
+    graphs_checked:
+        Total isomorphism classes enumerated.
+    collisions:
+        All collisions found, in discovery order.
+    """
+
+    num_labels: int
+    allow_same_label_edges: bool
+    max_edges: int
+    graphs_checked: int
+    collisions: list[Collision]
+
+    @property
+    def first_collision_edges(self) -> int | None:
+        """Edge count of the smallest colliding pair, or ``None``."""
+        if not self.collisions:
+            return None
+        return min(c.num_edges for c in self.collisions)
+
+    @property
+    def collision_free_emax(self) -> int:
+        """Largest edge count with no collisions at or below it.
+
+        Only meaningful when the sweep found a collision; otherwise the
+        bound is at least ``max_edges`` (all checked sizes were clean).
+        """
+        first = self.first_collision_edges
+        if first is None:
+            return self.max_edges
+        return first - 1
+
+    def summary(self) -> str:
+        regime = "with" if self.allow_same_label_edges else "without"
+        lines = [
+            f"labels={self.num_labels}, {regime} same-label edges, "
+            f"up to {self.max_edges} edges: {self.graphs_checked} classes, "
+            f"{len(self.collisions)} collisions",
+            f"collision-free e_max >= {self.collision_free_emax}",
+        ]
+        return "\n".join(lines)
+
+
+def find_collisions(
+    num_labels: int,
+    max_edges: int,
+    allow_same_label_edges: bool = True,
+    max_nodes: int | None = None,
+    stop_at_first: bool = False,
+) -> CollisionReport:
+    """Enumerate labelled graphs and report encoding collisions.
+
+    Parameters
+    ----------
+    num_labels:
+        Alphabet size for the enumeration.
+    max_edges:
+        Largest subgraph edge count to check.
+    allow_same_label_edges:
+        ``True`` models label connectivity graphs *with* self loops (the
+        ``e_max = 4`` regime), ``False`` the loop-free ``e_max = 5`` regime.
+    max_nodes:
+        Optional node cap forwarded to the enumerator.
+    stop_at_first:
+        Return as soon as one collision is found (used by tests that only
+        need the bound, not the full census of collisions).
+    """
+    buckets: dict[CanonicalCode, list[SmallGraph]] = {}
+    collisions: list[Collision] = []
+    graphs_checked = 0
+    for graph in enumerate_connected_labelled_graphs(
+        num_labels,
+        max_edges,
+        allow_same_label_edges=allow_same_label_edges,
+        max_nodes=max_nodes,
+    ):
+        graphs_checked += 1
+        code = graph.encode(num_labels)
+        bucket = buckets.setdefault(code, [])
+        for other in bucket:
+            # The enumerator yields one representative per isomorphism
+            # class, so same-code bucket mates are collisions by
+            # construction; assert that with the exact test.
+            if not are_isomorphic(graph, other):
+                collisions.append(Collision(code, other, graph))
+                if stop_at_first:
+                    bucket.append(graph)
+                    return CollisionReport(
+                        num_labels,
+                        allow_same_label_edges,
+                        max_edges,
+                        graphs_checked,
+                        collisions,
+                    )
+        bucket.append(graph)
+    return CollisionReport(
+        num_labels, allow_same_label_edges, max_edges, graphs_checked, collisions
+    )

@@ -1,0 +1,357 @@
+"""Heterogeneous graph data structure.
+
+:class:`HeteroGraph` is the substrate every other module works on: an
+undirected, simple (no self loops, no parallel edges), node-labelled graph,
+as defined in Section 3 of the paper.
+
+Design notes
+------------
+* Nodes carry arbitrary hashable external ids (strings in the bundled
+  datasets) but are stored internally as contiguous integer indices; the
+  census and the encodings only ever see integers.
+* Adjacency lists are sorted by ``(neighbour label, neighbour index)``.  The
+  heterogeneous grouping heuristic of Section 3.2 relies on same-label
+  neighbours being contiguous, and the paper explicitly recommends sorting
+  adjacency lists by label.
+* The structure is immutable after construction.  The census shares one
+  graph across worker processes/threads, mirroring the paper's observation
+  that the edge list can be shared because it is never modified.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.labels import LabelSet
+from repro.exceptions import GraphError
+
+NodeId = Hashable
+
+
+class HeteroGraph:
+    """An immutable undirected node-labelled simple graph.
+
+    Use :meth:`from_edges` or :meth:`from_networkx` rather than calling the
+    constructor directly.
+    """
+
+    __slots__ = (
+        "_labelset",
+        "_ids",
+        "_index_of",
+        "_labels",
+        "_adjacency",
+        "_label_starts",
+        "_num_edges",
+    )
+
+    def __init__(
+        self,
+        labelset: LabelSet,
+        ids: Sequence[NodeId],
+        labels: np.ndarray,
+        adjacency: list[np.ndarray],
+        label_starts: list[np.ndarray],
+        num_edges: int,
+    ) -> None:
+        self._labelset = labelset
+        self._ids = tuple(ids)
+        self._index_of = {node_id: i for i, node_id in enumerate(self._ids)}
+        self._labels = labels
+        self._adjacency = adjacency
+        self._label_starts = label_starts
+        self._num_edges = num_edges
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        node_labels: Mapping[NodeId, str],
+        edges: Iterable[tuple[NodeId, NodeId]],
+        labelset: LabelSet | None = None,
+    ) -> "HeteroGraph":
+        """Build a graph from a node->label mapping and an edge iterable.
+
+        Parameters
+        ----------
+        node_labels:
+            Maps every node id to its label name.  Every node mentioned in
+            ``edges`` must appear here; isolated nodes are allowed.
+        edges:
+            Undirected edges as ``(u, v)`` pairs.  Duplicates (in either
+            orientation) are rejected, as are self loops.
+        labelset:
+            Optional explicit alphabet.  When omitted, one is derived from
+            the labels in first-occurrence order.
+
+        Raises
+        ------
+        GraphError
+            On self loops, duplicate edges, or edges naming unknown nodes.
+        """
+        ids = tuple(node_labels)
+        index_of = {node_id: i for i, node_id in enumerate(ids)}
+        if labelset is None:
+            labelset = LabelSet.from_labelling(node_labels[node_id] for node_id in ids)
+        labels = np.fromiter(
+            (labelset.index(node_labels[node_id]) for node_id in ids),
+            dtype=np.int64,
+            count=len(ids),
+        )
+
+        neighbour_sets: list[set[int]] = [set() for _ in ids]
+        num_edges = 0
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self loop on node {u!r} is not allowed")
+            try:
+                ui, vi = index_of[u], index_of[v]
+            except KeyError as exc:
+                raise GraphError(f"edge ({u!r}, {v!r}) names unknown node {exc}") from None
+            if vi in neighbour_sets[ui]:
+                raise GraphError(f"duplicate edge ({u!r}, {v!r})")
+            neighbour_sets[ui].add(vi)
+            neighbour_sets[vi].add(ui)
+            num_edges += 1
+
+        adjacency, label_starts = cls._pack_adjacency(neighbour_sets, labels, len(labelset))
+        return cls(labelset, ids, labels, adjacency, label_starts, num_edges)
+
+    @staticmethod
+    def _pack_adjacency(
+        neighbour_sets: Sequence[set[int]],
+        labels: np.ndarray,
+        num_labels: int,
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Sort each adjacency list by (label, index) and record label runs.
+
+        ``label_starts[v]`` is an array of length ``num_labels + 1`` with the
+        boundaries of same-label runs inside ``adjacency[v]``, so neighbours
+        of ``v`` with label ``l`` are ``adjacency[v][starts[l]:starts[l+1]]``.
+        """
+        adjacency: list[np.ndarray] = []
+        label_starts: list[np.ndarray] = []
+        for neighbours in neighbour_sets:
+            ordered = sorted(neighbours, key=lambda w: (labels[w], w))
+            arr = np.asarray(ordered, dtype=np.int64)
+            counts = np.bincount(labels[arr], minlength=num_labels) if ordered else np.zeros(
+                num_labels, dtype=np.int64
+            )
+            starts = np.zeros(num_labels + 1, dtype=np.int64)
+            np.cumsum(counts, out=starts[1:])
+            adjacency.append(arr)
+            label_starts.append(starts)
+        return adjacency, label_starts
+
+    @classmethod
+    def from_networkx(cls, graph, label_attr: str = "label", labelset: LabelSet | None = None) -> "HeteroGraph":
+        """Build from a ``networkx.Graph`` whose nodes carry a label attribute.
+
+        Raises
+        ------
+        GraphError
+            If a node is missing the label attribute or the graph is directed.
+        """
+        if graph.is_directed():
+            raise GraphError("HeteroGraph is undirected; pass an undirected networkx graph")
+        node_labels: dict[NodeId, str] = {}
+        for node, data in graph.nodes(data=True):
+            if label_attr not in data:
+                raise GraphError(f"node {node!r} is missing the {label_attr!r} attribute")
+            node_labels[node] = data[label_attr]
+        return cls.from_edges(node_labels, graph.edges(), labelset=labelset)
+
+    def to_networkx(self):
+        """Export to a ``networkx.Graph`` with ``label`` node attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for i, node_id in enumerate(self._ids):
+            graph.add_node(node_id, label=self._labelset.name(int(self._labels[i])))
+        for u in range(self.num_nodes):
+            for v in self._adjacency[u]:
+                if u < v:
+                    graph.add_edge(self._ids[u], self._ids[int(v)])
+        return graph
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def labelset(self) -> LabelSet:
+        """The label alphabet shared by this graph."""
+        return self._labelset
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._ids)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def node_ids(self) -> tuple[NodeId, ...]:
+        """External node ids, in internal index order."""
+        return self._ids
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Integer label per node (read-only view), aligned with indices."""
+        view = self._labels.view()
+        view.flags.writeable = False
+        return view
+
+    def index(self, node_id: NodeId) -> int:
+        """Internal index of an external node id."""
+        try:
+            return self._index_of[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def node_id(self, index: int) -> NodeId:
+        """External id of an internal index."""
+        if not 0 <= index < len(self._ids):
+            raise GraphError(f"node index {index} out of range")
+        return self._ids[index]
+
+    def label_of(self, index: int) -> int:
+        """Integer label of the node at ``index``."""
+        return int(self._labels[index])
+
+    def label_name_of(self, node_id: NodeId) -> str:
+        """Label name of an external node id."""
+        return self._labelset.name(self.label_of(self.index(node_id)))
+
+    def degree(self, index: int) -> int:
+        """Degree of the node at ``index``."""
+        return len(self._adjacency[index])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees, aligned with indices."""
+        return np.fromiter(
+            (len(a) for a in self._adjacency), dtype=np.int64, count=self.num_nodes
+        )
+
+    def neighbors(self, index: int) -> np.ndarray:
+        """Neighbour indices of ``index`` sorted by (label, index)."""
+        return self._adjacency[index]
+
+    def neighbors_with_label(self, index: int, label: int) -> np.ndarray:
+        """Neighbours of ``index`` whose label equals ``label``."""
+        starts = self._label_starts[index]
+        return self._adjacency[index][starts[label]: starts[label + 1]]
+
+    def label_degree(self, index: int, label: int) -> int:
+        """Number of neighbours of ``index`` with the given label."""
+        starts = self._label_starts[index]
+        return int(starts[label + 1] - starts[label])
+
+    def neighbor_label_runs(self, index: int) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(label, neighbours)`` for each non-empty same-label run.
+
+        This is the access pattern of the heterogeneous grouping heuristic:
+        all same-label neighbours in one step.
+        """
+        starts = self._label_starts[index]
+        adjacency = self._adjacency[index]
+        for label in range(len(self._labelset)):
+            lo, hi = starts[label], starts[label + 1]
+            if hi > lo:
+                yield label, adjacency[lo:hi]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether nodes at indices ``u`` and ``v`` are adjacent."""
+        adjacency = self._adjacency[u]
+        if len(self._adjacency[v]) < len(adjacency):
+            u, v, adjacency = v, u, self._adjacency[v]
+        label = self.label_of(v)
+        run = self.neighbors_with_label(u, label)
+        pos = int(np.searchsorted(run, v))
+        return pos < len(run) and int(run[pos]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges as index pairs with ``u < v``."""
+        for u in range(self.num_nodes):
+            for v in self._adjacency[u]:
+                v = int(v)
+                if u < v:
+                    yield u, v
+
+    def label_counts(self) -> np.ndarray:
+        """Number of nodes per label, aligned with alphabet order."""
+        return np.bincount(self._labels, minlength=len(self._labelset))
+
+    def nodes_with_label(self, label: int) -> np.ndarray:
+        """Indices of all nodes carrying ``label``."""
+        return np.flatnonzero(self._labels == label)
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[np.ndarray]:
+        """Connected components as arrays of node indices, largest first.
+
+        Isolated nodes form singleton components.  Useful for dataset
+        preprocessing: rooted censuses never cross components, so features
+        of nodes outside the giant component are systematically sparser.
+        """
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        components: list[np.ndarray] = []
+        for start in range(self.num_nodes):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            members = [start]
+            while stack:
+                current = stack.pop()
+                for neighbour in self._adjacency[current]:
+                    neighbour = int(neighbour)
+                    if not seen[neighbour]:
+                        seen[neighbour] = True
+                        stack.append(neighbour)
+                        members.append(neighbour)
+            components.append(np.asarray(sorted(members), dtype=np.int64))
+        components.sort(key=len, reverse=True)
+        return components
+
+    def largest_component(self) -> "HeteroGraph":
+        """Induced subgraph on the largest connected component."""
+        components = self.connected_components()
+        if not components:
+            raise GraphError("graph has no nodes")
+        return self.subgraph(components[0])
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, indices: Iterable[int]) -> "HeteroGraph":
+        """Induced subgraph on the given node indices.
+
+        External ids and the label alphabet are preserved; only nodes and
+        their mutual edges survive.
+        """
+        keep = sorted(set(int(i) for i in indices))
+        for i in keep:
+            if not 0 <= i < self.num_nodes:
+                raise GraphError(f"node index {i} out of range")
+        keep_set = set(keep)
+        node_labels = {self._ids[i]: self._labelset.name(self.label_of(i)) for i in keep}
+        edges = [
+            (self._ids[u], self._ids[int(v)])
+            for u in keep
+            for v in self._adjacency[u]
+            if u < int(v) and int(v) in keep_set
+        ]
+        return HeteroGraph.from_edges(node_labels, edges, labelset=self._labelset)
+
+    def __repr__(self) -> str:
+        return (
+            f"HeteroGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"labels={list(self._labelset.names)!r})"
+        )

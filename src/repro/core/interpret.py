@@ -1,0 +1,173 @@
+"""Interpretation of subgraph features (Section 4.2.5, Figure 4).
+
+Unlike neural embeddings, subgraph features are directly interpretable: each
+feature column *is* an isomorphism class of labelled subgraphs.  This module
+turns codes back into something a human can read — a structured description,
+and where possible an explicit realisation of the code as a labelled graph —
+and ranks features by model importance the way Figure 4 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.encoding import (
+    CanonicalCode,
+    code_num_edges,
+    code_num_nodes,
+    code_to_string,
+)
+from repro.core.features import FeatureSpace
+from repro.core.isomorphism import SmallGraph
+from repro.core.labels import LabelSet
+from repro.exceptions import EncodingError
+
+
+def describe_code(code: CanonicalCode, labelset: LabelSet) -> str:
+    """One-line human description of a subgraph code.
+
+    Example: ``"3 nodes, 2 edges: A(P:1) A(P:1) P(A:2)"`` — each node shows
+    its label and its non-zero in-subgraph label degrees.
+    """
+    parts = []
+    for seq in code:
+        label, *counts = seq
+        name = labelset.name(label)
+        degrees = ",".join(
+            f"{labelset.name(i)}:{c}" for i, c in enumerate(counts) if c
+        )
+        parts.append(f"{name}({degrees})" if degrees else name)
+    return (
+        f"{code_num_nodes(code)} nodes, {code_num_edges(code)} edges: "
+        + " ".join(parts)
+    )
+
+
+def realize_code(code: CanonicalCode) -> SmallGraph | None:
+    """Find a labelled graph whose encoding is ``code``, if one exists.
+
+    Performs a backtracking search over edge assignments that satisfies
+    every node's per-label degree requirements.  Subgraph codes produced by
+    the census are always realisable; hand-crafted codes may not be, in
+    which case ``None`` is returned.
+
+    Note that for codes beyond the collision-free ``e_max`` bound the
+    returned graph is *one* member of the code's class, not necessarily the
+    one observed in the network.
+    """
+    labels = tuple(seq[0] for seq in code)
+    n = len(labels)
+    # remaining[i][l] = how many more label-l neighbours node i still needs.
+    remaining = [list(seq[1:]) for seq in code]
+    edges: list[tuple[int, int]] = []
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+
+    def first_unmet() -> int | None:
+        for i in range(n):
+            if any(remaining[i]):
+                return i
+        return None
+
+    def search() -> bool:
+        i = first_unmet()
+        if i is None:
+            return True
+        # Find the first label node i still needs and try every partner.
+        need = next(l for l, c in enumerate(remaining[i]) if c)
+        for j in range(n):
+            if j == i or j in adjacency[i]:
+                continue
+            if labels[j] != need:
+                continue
+            if remaining[j][labels[i]] <= 0:
+                continue
+            remaining[i][need] -= 1
+            remaining[j][labels[i]] -= 1
+            adjacency[i].add(j)
+            adjacency[j].add(i)
+            edges.append((i, j) if i < j else (j, i))
+            if search():
+                return True
+            edges.pop()
+            adjacency[i].discard(j)
+            adjacency[j].discard(i)
+            remaining[i][need] += 1
+            remaining[j][labels[i]] += 1
+        return False
+
+    if not search():
+        return None
+    graph = SmallGraph(labels, edges)
+    if not graph.is_connected():
+        # Rooted census codes are connected by construction; a disconnected
+        # realisation means the code admits no connected realisation with
+        # this particular matching — retry is out of scope, report failure.
+        return None
+    return graph
+
+
+@dataclass(frozen=True)
+class RankedFeature:
+    """One entry of a feature-importance ranking."""
+
+    rank: int
+    column: int
+    code: CanonicalCode
+    importance: float
+    description: str
+
+    def render(self, labelset: LabelSet) -> str:
+        return (
+            f"#{self.rank} (importance {self.importance:.4f}) "
+            f"{code_to_string(self.code, labelset)} -- {self.description}"
+        )
+
+
+def rank_features(
+    importances: Sequence[float],
+    space: FeatureSpace,
+    labelset: LabelSet,
+    top: int = 10,
+) -> list[RankedFeature]:
+    """Rank feature columns by importance, decoding each code.
+
+    Parameters
+    ----------
+    importances:
+        Per-column importances (e.g. a random forest's impurity importances),
+        aligned with ``space``.
+    space:
+        The vocabulary the model was trained on.  Its keys must be canonical
+        codes (the census default); string or hash keys cannot be decoded.
+    labelset:
+        Alphabet for rendering descriptions.
+    top:
+        Number of entries to return.
+    """
+    importances = np.asarray(importances, dtype=np.float64)
+    if importances.shape[0] != len(space):
+        raise EncodingError(
+            f"{importances.shape[0]} importances for {len(space)} features"
+        )
+    order = np.argsort(importances)[::-1][:top]
+    ranking = []
+    for rank, column in enumerate(order, start=1):
+        code = space.key_at(int(column))
+        if not isinstance(code, tuple):
+            raise EncodingError(
+                "feature space keys are not canonical codes; "
+                "run the census with key='canonical' to rank features"
+            )
+        ranking.append(
+            RankedFeature(
+                rank=rank,
+                column=int(column),
+                code=code,
+                importance=float(importances[column]),
+                description=describe_code(code, labelset),
+            )
+        )
+    return ranking

@@ -1,0 +1,230 @@
+"""Exact isomorphism for small labelled graphs.
+
+The encoding of Section 3.1 is only *pseudo*-canonical: it distinguishes
+subgraphs up to isomorphism for small edge counts and may collide beyond
+``e_max``.  This module provides the ground truth the encoding is measured
+against — a label-respecting backtracking isomorphism test — together with
+an enumerator of all connected labelled graphs up to a given number of
+edges, which powers the collision analysis of :mod:`repro.core.collisions`.
+
+Graphs here are plain ``(labels, edges)`` pairs: ``labels[i]`` is the integer
+label of node ``i`` and ``edges`` a list of index pairs.  These graphs are
+tiny (at most ``e_max + 1`` nodes), so a straightforward backtracking search
+with label/degree pruning is more than fast enough.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+from repro.core.encoding import CanonicalCode, encode_subgraph
+from repro.exceptions import GraphError
+
+Edges = tuple[tuple[int, int], ...]
+
+
+class SmallGraph:
+    """A tiny labelled graph with precomputed invariants for fast matching."""
+
+    __slots__ = ("labels", "edges", "adjacency", "_signature")
+
+    def __init__(self, labels: Sequence[int], edges: Sequence[tuple[int, int]]) -> None:
+        n = len(labels)
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+        normalised = []
+        for u, v in edges:
+            if u == v:
+                raise GraphError("self loops are not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise GraphError(f"edge ({u}, {v}) out of range for {n} nodes")
+            if v in adjacency[u]:
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            normalised.append((u, v) if u < v else (v, u))
+        self.labels = tuple(labels)
+        self.edges: Edges = tuple(sorted(normalised))
+        self.adjacency = adjacency
+        # Per-node invariant: (own label, sorted multiset of neighbour labels).
+        self._signature = tuple(
+            (self.labels[i], tuple(sorted(self.labels[j] for j in adjacency[i])))
+            for i in range(n)
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def encode(self, num_labels: int) -> CanonicalCode:
+        """Characteristic-sequence code of this graph."""
+        return encode_subgraph(self.labels, self.edges, num_labels)
+
+    def sorted_signature(self) -> tuple:
+        """Order-independent invariant used to bucket candidates."""
+        return tuple(sorted(self._signature))
+
+    def is_connected(self) -> bool:
+        if self.num_nodes == 0:
+            return False
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in self.adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.num_nodes
+
+    def __repr__(self) -> str:
+        return f"SmallGraph(labels={self.labels}, edges={list(self.edges)})"
+
+
+def are_isomorphic(a: SmallGraph, b: SmallGraph) -> bool:
+    """Label-respecting isomorphism test via backtracking.
+
+    Prunes on node/edge counts and per-node signatures before searching for
+    a bijection that preserves both adjacency and labels (the two conditions
+    of Section 3's definition).
+    """
+    if a.num_nodes != b.num_nodes or a.num_edges != b.num_edges:
+        return False
+    if a.sorted_signature() != b.sorted_signature():
+        return False
+
+    n = a.num_nodes
+    # candidates[i] = nodes of b that i may map to, by signature equality.
+    sig_a = a._signature
+    sig_b = b._signature
+    candidates = [
+        [j for j in range(n) if sig_b[j] == sig_a[i]] for i in range(n)
+    ]
+    # Match most-constrained nodes first.
+    order = sorted(range(n), key=lambda i: len(candidates[i]))
+    mapping = [-1] * n
+    used = [False] * n
+
+    def extend(position: int) -> bool:
+        if position == n:
+            return True
+        i = order[position]
+        for j in candidates[i]:
+            if used[j]:
+                continue
+            consistent = all(
+                mapping[neighbour] == -1 or mapping[neighbour] in b.adjacency[j]
+                for neighbour in a.adjacency[i]
+            )
+            # Also ensure no mapped non-neighbour became a neighbour.
+            if consistent:
+                mapped_neighbours = sum(
+                    1 for neighbour in a.adjacency[i] if mapping[neighbour] != -1
+                )
+                mapped_b_neighbours = sum(
+                    1
+                    for k in range(n)
+                    if mapping[k] != -1 and mapping[k] in b.adjacency[j]
+                )
+                consistent = mapped_neighbours == mapped_b_neighbours
+            if consistent:
+                mapping[i] = j
+                used[j] = True
+                if extend(position + 1):
+                    return True
+                mapping[i] = -1
+                used[j] = False
+        return False
+
+    return extend(0)
+
+
+def enumerate_connected_labelled_graphs(
+    num_labels: int,
+    max_edges: int,
+    allow_same_label_edges: bool = True,
+    max_nodes: int | None = None,
+) -> Iterator[SmallGraph]:
+    """Yield one representative per isomorphism class of connected labelled
+    graphs with ``1 .. max_edges`` edges.
+
+    Parameters
+    ----------
+    num_labels:
+        Size of the label alphabet; labellings range over all of it.
+    max_edges:
+        Largest edge count to enumerate.
+    allow_same_label_edges:
+        When ``False``, graphs with an edge between two same-labelled nodes
+        are skipped — this models networks whose label connectivity graph
+        has no self loops (the ``e_max = 5`` regime of Section 3.1).
+    max_nodes:
+        Optional cap on node count (defaults to ``max_edges + 1``, the
+        maximum for a connected graph).
+
+    Notes
+    -----
+    Representatives are grown breadth-first by edge count: every graph with
+    ``m + 1`` edges contains a connected ``m``-edge subgraph, so extending
+    each ``m``-edge representative by one edge (closing a pair or attaching
+    a newly labelled node) reaches every class.  Deduplication buckets by
+    the sorted signature invariant and falls back to exact isomorphism
+    inside buckets.
+    """
+    if max_nodes is None:
+        max_nodes = max_edges + 1
+
+    def edge_allowed(label_u: int, label_v: int) -> bool:
+        return allow_same_label_edges or label_u != label_v
+
+    current: list[SmallGraph] = []
+    seen: dict[tuple, list[SmallGraph]] = {}
+
+    def register(graph: SmallGraph) -> bool:
+        key = graph.sorted_signature()
+        bucket = seen.setdefault(key, [])
+        if any(are_isomorphic(graph, other) for other in bucket):
+            return False
+        bucket.append(graph)
+        return True
+
+    # Seed: single edges over all (unordered) label pairs.
+    for la in range(num_labels):
+        for lb in range(la, num_labels):
+            if edge_allowed(la, lb):
+                graph = SmallGraph((la, lb), [(0, 1)])
+                if register(graph):
+                    current.append(graph)
+                    yield graph
+
+    for _ in range(1, max_edges):
+        nxt: list[SmallGraph] = []
+        for graph in current:
+            n = len(graph.labels)
+            # (a) close an edge between two existing non-adjacent nodes.
+            for u, v in combinations(range(n), 2):
+                if v in graph.adjacency[u]:
+                    continue
+                if not edge_allowed(graph.labels[u], graph.labels[v]):
+                    continue
+                extended = SmallGraph(graph.labels, graph.edges + ((u, v),))
+                if register(extended):
+                    nxt.append(extended)
+                    yield extended
+            # (b) attach a new node with every label to every existing node.
+            if n < max_nodes:
+                for u in range(n):
+                    for label in range(num_labels):
+                        if not edge_allowed(graph.labels[u], label):
+                            continue
+                        extended = SmallGraph(
+                            graph.labels + (label,), graph.edges + ((u, n),)
+                        )
+                        if register(extended):
+                            nxt.append(extended)
+                            yield extended
+        current = nxt

@@ -1,0 +1,99 @@
+"""Label schemas of the evaluation networks (Figure 2).
+
+Each schema records the labels of one evaluation network and which label
+pairs its label connectivity graph connects.  The generators in this package
+are validated against these schemas: a generated LOAD network must have a
+fully connected label connectivity graph with self loops, a generated IMDB
+network must be a star through ``M``, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.connectivity import LabelConnectivity
+from repro.core.labels import LabelSet
+
+
+@dataclass(frozen=True)
+class NetworkSchema:
+    """Expected label structure of an evaluation network.
+
+    Attributes
+    ----------
+    name:
+        Dataset name used in tables.
+    labelset:
+        The label alphabet.
+    allowed_pairs:
+        Unordered label-name pairs that may carry edges; a pair ``(x, x)``
+        marks an allowed self loop in the label connectivity graph.
+    """
+
+    name: str
+    labelset: LabelSet
+    allowed_pairs: frozenset[frozenset[str]]
+
+    def allows(self, label_a: str, label_b: str) -> bool:
+        """Whether an edge between these labels fits the schema."""
+        return frozenset((label_a, label_b)) in self.allowed_pairs
+
+    @property
+    def has_loops(self) -> bool:
+        return any(len(pair) == 1 for pair in self.allowed_pairs)
+
+    def validate(self, connectivity: LabelConnectivity) -> list[str]:
+        """Return schema violations of an observed label connectivity graph
+        (empty list when the graph fits)."""
+        violations = []
+        for a, b, count in connectivity.label_pairs():
+            if not self.allows(a, b):
+                violations.append(f"unexpected {a}--{b} edges ({count})")
+        return violations
+
+
+def _pairs(*pairs: tuple[str, str]) -> frozenset[frozenset[str]]:
+    return frozenset(frozenset(pair) for pair in pairs)
+
+
+#: MAG subset for rank prediction: institutions, authors, papers.
+#: Authors affiliate with institutions, author papers, papers cite papers.
+MAG_RANK_SCHEMA = NetworkSchema(
+    name="MAG-rank",
+    labelset=LabelSet(("I", "A", "P")),
+    allowed_pairs=_pairs(("I", "A"), ("A", "P"), ("P", "P")),
+)
+
+#: MAG subset for label prediction: six labels as in Figure 2 (right).
+MAG_LABEL_SCHEMA = NetworkSchema(
+    name="MAG",
+    labelset=LabelSet(("A", "I", "C", "J", "F", "P")),
+    allowed_pairs=_pairs(
+        ("A", "I"),
+        ("A", "P"),
+        ("P", "P"),
+        ("P", "C"),
+        ("P", "J"),
+        ("P", "F"),
+    ),
+)
+
+#: LOAD entity co-occurrence network: fully connected with self loops.
+LOAD_SCHEMA = NetworkSchema(
+    name="LOAD",
+    labelset=LabelSet(("L", "O", "A", "D")),
+    allowed_pairs=_pairs(
+        *[
+            (a, b)
+            for i, a in enumerate("LOAD")
+            for b in "LOAD"[i:]
+        ]
+    ),
+)
+
+#: IMDB movie network: star through M, no satellite-satellite edges.
+IMDB_SCHEMA = NetworkSchema(
+    name="IMDB",
+    labelset=LabelSet(("M", "A", "D", "W", "C", "K")),
+    allowed_pairs=_pairs(("M", "A"), ("M", "D"), ("M", "W"), ("M", "C"), ("M", "K")),
+)

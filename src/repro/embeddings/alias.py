@@ -1,0 +1,63 @@
+"""Alias method for O(1) sampling from discrete distributions.
+
+LINE's edge sampling and the negative-sampling distribution of the skip-gram
+trainer both draw millions of samples from fixed discrete distributions;
+the alias method (Walker 1977) gives constant-time draws after linear setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AliasTable:
+    """Preprocessed discrete distribution supporting O(1) draws.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative, not-all-zero weights; normalised internally.
+    """
+
+    __slots__ = ("_probability", "_alias", "size")
+
+    def __init__(self, weights) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("weights must not sum to zero")
+        self.size = weights.size
+        scaled = weights * (self.size / total)
+        probability = np.zeros(self.size)
+        alias = np.zeros(self.size, dtype=np.int64)
+        small = [i for i, w in enumerate(scaled) if w < 1.0]
+        large = [i for i, w in enumerate(scaled) if w >= 1.0]
+        scaled = scaled.copy()
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            probability[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = scaled[l] - (1.0 - scaled[s])
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for remaining in large + small:
+            probability[remaining] = 1.0
+        self._probability = probability
+        self._alias = alias
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> np.ndarray:
+        """Draw ``size`` indices (or a scalar when ``size`` is ``None``)."""
+        n = 1 if size is None else size
+        columns = rng.integers(0, self.size, size=n)
+        coins = rng.random(n)
+        picks = np.where(coins < self._probability[columns], columns, self._alias[columns])
+        if size is None:
+            return int(picks[0])
+        return picks

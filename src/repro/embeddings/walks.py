@@ -1,0 +1,117 @@
+"""Random-walk corpora for DeepWalk and node2vec.
+
+DeepWalk samples truncated uniform random walks; node2vec generalises them
+to second-order walks biased by a return parameter ``p`` and an in-out
+parameter ``q`` (Grover & Leskovec 2016).  With the paper's defaults
+``p = q = 1`` the second-order walk degenerates to the uniform walk, which
+the implementation exploits as a fast path.
+
+Walks operate on the integer node indices of :class:`~repro.core.graph.HeteroGraph`
+and ignore labels entirely — the embeddings are the paper's label-blind
+baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graph import HeteroGraph
+
+
+def uniform_random_walks(
+    graph: HeteroGraph,
+    num_walks: int = 10,
+    walk_length: int = 80,
+    rng: np.random.Generator | int | None = None,
+    nodes=None,
+) -> list[np.ndarray]:
+    """Truncated uniform random walks, ``num_walks`` per start node.
+
+    Walks stop early at isolated nodes.  Returns one integer array per walk.
+    """
+    if num_walks < 1 or walk_length < 1:
+        raise ValueError("num_walks and walk_length must be >= 1")
+    rng = np.random.default_rng(rng)
+    starts = np.arange(graph.num_nodes) if nodes is None else np.asarray(nodes)
+    walks: list[np.ndarray] = []
+    for _ in range(num_walks):
+        order = rng.permutation(starts)
+        for start in order:
+            walk = [int(start)]
+            current = int(start)
+            for _ in range(walk_length - 1):
+                neighbours = graph.neighbors(current)
+                if len(neighbours) == 0:
+                    break
+                current = int(neighbours[rng.integers(0, len(neighbours))])
+                walk.append(current)
+            walks.append(np.asarray(walk, dtype=np.int64))
+    return walks
+
+
+def node2vec_walks(
+    graph: HeteroGraph,
+    num_walks: int = 10,
+    walk_length: int = 80,
+    p: float = 1.0,
+    q: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    nodes=None,
+) -> list[np.ndarray]:
+    """Second-order biased walks with return parameter ``p`` and in-out ``q``.
+
+    Transition weights from ``prev -> current -> next``:
+
+    * ``1/p`` when ``next == prev`` (return),
+    * ``1``  when ``next`` is adjacent to ``prev`` (stay close),
+    * ``1/q`` otherwise (move outward).
+
+    ``p = q = 1`` short-circuits to :func:`uniform_random_walks`.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    if p == 1.0 and q == 1.0:
+        return uniform_random_walks(graph, num_walks, walk_length, rng, nodes)
+    if num_walks < 1 or walk_length < 1:
+        raise ValueError("num_walks and walk_length must be >= 1")
+    rng = np.random.default_rng(rng)
+    starts = np.arange(graph.num_nodes) if nodes is None else np.asarray(nodes)
+    neighbour_sets = [set(int(x) for x in graph.neighbors(v)) for v in range(graph.num_nodes)]
+    walks: list[np.ndarray] = []
+    for _ in range(num_walks):
+        order = rng.permutation(starts)
+        for start in order:
+            walk = [int(start)]
+            current = int(start)
+            previous = -1
+            for _ in range(walk_length - 1):
+                neighbours = graph.neighbors(current)
+                if len(neighbours) == 0:
+                    break
+                if previous == -1:
+                    nxt = int(neighbours[rng.integers(0, len(neighbours))])
+                else:
+                    weights = np.empty(len(neighbours))
+                    prev_neighbours = neighbour_sets[previous]
+                    for i, candidate in enumerate(neighbours):
+                        candidate = int(candidate)
+                        if candidate == previous:
+                            weights[i] = 1.0 / p
+                        elif candidate in prev_neighbours:
+                            weights[i] = 1.0
+                        else:
+                            weights[i] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = int(neighbours[rng.choice(len(neighbours), p=weights)])
+                walk.append(nxt)
+                previous, current = current, nxt
+            walks.append(np.asarray(walk, dtype=np.int64))
+    return walks
+
+
+def walk_node_frequencies(walks, num_nodes: int) -> np.ndarray:
+    """Node occurrence counts across a walk corpus (negative-sampling base)."""
+    counts = np.zeros(num_nodes, dtype=np.float64)
+    for walk in walks:
+        np.add.at(counts, walk, 1.0)
+    return counts

@@ -1,0 +1,78 @@
+"""Evaluation pipelines reproducing every table and figure of Section 4.
+
+* :mod:`~repro.experiments.rank_prediction` — Figure 3 and Table 1.
+* :mod:`~repro.experiments.importance` — Figure 4.
+* :mod:`~repro.experiments.label_prediction` — Figure 5 and Table 2 inputs.
+* :mod:`~repro.experiments.runtime` — Table 3.
+* :mod:`~repro.experiments.classic_features` — the engineered baseline of 4.2.2.
+* :mod:`~repro.experiments.reporting` — text renderers for all artefacts.
+"""
+
+from repro.experiments.classic_features import ClassicFeatureExtractor
+from repro.experiments.common import (
+    EMBEDDING_METHODS,
+    EmbeddingParams,
+    embedding_matrix,
+    percentile_degree,
+)
+from repro.experiments.importance import ImportanceReport, discriminative_subgraphs
+from repro.experiments.label_prediction import (
+    FEATURE_TYPES,
+    LabelPredictionExperiment,
+    LabelTaskConfig,
+    SweepResult,
+    UNLABELED,
+    with_removed_labels,
+)
+from repro.experiments.rank_prediction import (
+    FEATURE_FAMILIES,
+    REGRESSOR_NAMES,
+    RankPredictionExperiment,
+    RankPredictionResult,
+    RankTaskConfig,
+)
+from repro.experiments.reporting import (
+    render_figure3,
+    render_sweep,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.experiments.runtime import (
+    RuntimeReport,
+    runtime_report,
+    time_census_per_node,
+    time_embeddings_per_node,
+)
+
+__all__ = [
+    "ClassicFeatureExtractor",
+    "EMBEDDING_METHODS",
+    "EmbeddingParams",
+    "FEATURE_FAMILIES",
+    "FEATURE_TYPES",
+    "ImportanceReport",
+    "LabelPredictionExperiment",
+    "LabelTaskConfig",
+    "REGRESSOR_NAMES",
+    "RankPredictionExperiment",
+    "RankPredictionResult",
+    "RankTaskConfig",
+    "RuntimeReport",
+    "SweepResult",
+    "UNLABELED",
+    "discriminative_subgraphs",
+    "embedding_matrix",
+    "percentile_degree",
+    "render_figure3",
+    "render_sweep",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "runtime_report",
+    "time_census_per_node",
+    "time_embeddings_per_node",
+    "with_removed_labels",
+]

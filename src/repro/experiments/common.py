@@ -1,0 +1,115 @@
+"""Shared experiment plumbing: embedding parameter presets and helpers.
+
+The paper runs every embedding baseline with its recommended defaults
+(``d=128, r=10, l=80, k=10, p=q=1, K=5``).  Those are faithful but slow for
+a pure-Python trainer, so experiments accept an :class:`EmbeddingParams`
+preset: :meth:`EmbeddingParams.paper` reproduces the defaults,
+:meth:`EmbeddingParams.fast` scales them down for bench runs.  Which preset
+an experiment used is recorded in its result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.graph import HeteroGraph
+from repro.embeddings import LINE, DeepWalk, Node2Vec
+
+EMBEDDING_METHODS = ("node2vec", "deepwalk", "line")
+
+
+@dataclass(frozen=True)
+class EmbeddingParams:
+    """Hyper-parameters shared by the three embedding baselines."""
+
+    dim: int = 128
+    num_walks: int = 10
+    walk_length: int = 80
+    window: int = 10
+    negative: int = 5
+    p: float = 1.0
+    q: float = 1.0
+    line_samples: int | None = None
+
+    @classmethod
+    def paper(cls) -> "EmbeddingParams":
+        """The recommended defaults of Section 4.2.2."""
+        return cls()
+
+    @classmethod
+    def fast(cls) -> "EmbeddingParams":
+        """Scaled-down preset for bench harnesses (documented deviation)."""
+        return cls(
+            dim=32,
+            num_walks=4,
+            walk_length=15,
+            window=5,
+            negative=5,
+            line_samples=40_000,
+        )
+
+
+def embedding_matrix(
+    graph: HeteroGraph,
+    nodes,
+    method: str,
+    params: EmbeddingParams,
+    seed: int = 0,
+) -> np.ndarray:
+    """Train one embedding baseline on ``graph`` and return rows for ``nodes``.
+
+    Parameters
+    ----------
+    method:
+        One of ``"node2vec"``, ``"deepwalk"``, ``"line"``.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    # With the paper defaults (p = q = 1) node2vec's walks coincide with
+    # DeepWalk's; a per-method seed offset keeps their random streams
+    # distinct, as independent reference implementations would be.
+    seed = seed + {"deepwalk": 0, "node2vec": 101, "line": 202}.get(method, 0)
+    if method == "deepwalk":
+        model = DeepWalk(
+            dim=params.dim,
+            num_walks=params.num_walks,
+            walk_length=params.walk_length,
+            window=params.window,
+            negative=params.negative,
+            seed=seed,
+        )
+    elif method == "node2vec":
+        model = Node2Vec(
+            dim=params.dim,
+            num_walks=params.num_walks,
+            walk_length=params.walk_length,
+            window=params.window,
+            negative=params.negative,
+            p=params.p,
+            q=params.q,
+            seed=seed,
+        )
+    elif method == "line":
+        model = LINE(
+            dim=params.dim,
+            num_samples=params.line_samples,
+            negative=params.negative,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown embedding method {method!r}")
+    return model.fit_transform(graph, nodes)
+
+
+def percentile_degree(graph: HeteroGraph, percentile: float) -> int | None:
+    """Degree value at a percentile of the degree distribution.
+
+    ``percentile >= 100`` means "no cap" and returns ``None`` — Table 2's
+    100% column, where the paper's extraction "did not finish" on the big
+    networks.
+    """
+    if percentile >= 100.0:
+        return None
+    degrees = graph.degrees()
+    return int(np.percentile(degrees, percentile))

@@ -1,0 +1,100 @@
+"""Text renderers for the paper's tables and figures.
+
+Every bench prints its reproduced artefact through these helpers so the
+output reads like the paper: Table 1's regressor-by-feature grid, Table 2's
+d_max sweep, Table 3's runtime rows, and Figure 3/5 series as aligned text
+columns (this is a terminal reproduction; no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.common import EMBEDDING_METHODS
+from repro.experiments.rank_prediction import (
+    FEATURE_FAMILIES,
+    REGRESSOR_NAMES,
+    RankPredictionResult,
+)
+
+
+def render_table(
+    title: str,
+    column_names: Sequence[str],
+    rows: Sequence[tuple[str, Sequence[float]]],
+    width: int = 10,
+    precision: int = 2,
+) -> str:
+    """Generic fixed-width table: ``rows`` are ``(label, values)`` pairs."""
+    header = " " * 12 + "".join(f"{name:>{width}}" for name in column_names)
+    lines = [title, header]
+    for label, values in rows:
+        cells = "".join(f"{value:>{width}.{precision}f}" for value in values)
+        lines.append(f"{label:<12}{cells}")
+    return "\n".join(lines)
+
+
+def render_table1(result: RankPredictionResult, families=FEATURE_FAMILIES) -> str:
+    """Table 1: average NDCG per predictive method and feature type."""
+    table = result.average_table()
+    regressors = [r for r in REGRESSOR_NAMES if any(reg == r for (reg, _f) in table)]
+    rows = []
+    for family in families:
+        values = [table.get((regressor, family), float("nan")) for regressor in regressors]
+        rows.append((family, values))
+    return render_table(
+        "Table 1: average NDCG over conferences", regressors, rows
+    )
+
+
+def render_figure3(result: RankPredictionResult, families=FEATURE_FAMILIES) -> str:
+    """Figure 3: per-conference NDCG grids, one block per regressor."""
+    conferences = result.conferences()
+    blocks = []
+    for regressor in REGRESSOR_NAMES:
+        rows = []
+        for family in families:
+            values = [
+                result.ndcg.get((regressor, family, conference), float("nan"))
+                for conference in conferences
+            ]
+            rows.append((family, values))
+        blocks.append(render_table(f"Figure 3 ({regressor})", conferences, rows))
+    return "\n\n".join(blocks)
+
+
+def render_table2(scores_by_dataset: Mapping[str, Mapping[float, float]]) -> str:
+    """Table 2: macro-F1 per dataset and d_max percentile level."""
+    percentiles = sorted(
+        {p for scores in scores_by_dataset.values() for p in scores}
+    )
+    rows = []
+    for dataset, scores in scores_by_dataset.items():
+        rows.append(
+            (dataset, [scores.get(p, float("nan")) for p in percentiles])
+        )
+    return render_table(
+        "Table 2: macro-F1 by d_max percentile",
+        [f"{p:.0f}%" for p in percentiles],
+        rows,
+    )
+
+
+def render_table3(reports) -> str:
+    """Table 3: per-node extraction time rows."""
+    header = (
+        f"{'dataset':<8} {'mean':>9} {'p75':>9} {'p90':>9} {'p95':>9} {'max':>9} "
+        + " ".join(f"{m:>9}" for m in EMBEDDING_METHODS)
+    )
+    lines = ["Table 3: extraction seconds per node", header]
+    lines.extend(report.row() for report in reports)
+    return "\n".join(lines)
+
+
+def render_sweep(title: str, sweep, x_format: str = "{:.0%}") -> str:
+    """Figure 5 style: one row per feature type, one column per x value."""
+    xs = sweep.xs()
+    rows = []
+    for feature in sweep.features():
+        rows.append((feature, [sweep.mean(feature, x) for x in xs]))
+    return render_table(title, [x_format.format(x) for x in xs], rows)

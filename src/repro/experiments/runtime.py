@@ -1,0 +1,111 @@
+"""Feature-extraction runtime measurement (Section 4.3.5, Table 3).
+
+Times the per-node subgraph census (mean plus 75/90/95th percentiles and
+max — the paper reports exactly these, because the census runtime follows
+the skewed degree distribution) against the per-node cost of the three
+embedding baselines (total training time divided by node count, since
+embeddings are trained globally rather than per node).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.census import CensusConfig, subgraph_census
+from repro.core.graph import HeteroGraph
+from repro.experiments.common import (
+    EMBEDDING_METHODS,
+    EmbeddingParams,
+    embedding_matrix,
+    percentile_degree,
+)
+
+
+@dataclass
+class RuntimeReport:
+    """Per-dataset timing summary, mirroring Table 3's columns."""
+
+    dataset: str
+    census_mean: float
+    census_p75: float
+    census_p90: float
+    census_p95: float
+    census_max: float
+    embedding_mean: dict[str, float]
+    num_nodes_timed: int
+
+    def row(self) -> str:
+        cells = [
+            f"{self.dataset:<8}",
+            f"{self.census_mean:9.4f}",
+            f"{self.census_p75:9.4f}",
+            f"{self.census_p90:9.4f}",
+            f"{self.census_p95:9.4f}",
+            f"{self.census_max:9.4f}",
+        ]
+        for method in EMBEDDING_METHODS:
+            cells.append(f"{self.embedding_mean[method]:9.5f}")
+        return " ".join(cells)
+
+
+def time_census_per_node(
+    graph: HeteroGraph,
+    nodes,
+    emax: int = 3,
+    dmax_percentile: float = 90.0,
+    mask_start_label: bool = True,
+) -> np.ndarray:
+    """Wall-clock seconds of the rooted census for each node."""
+    dmax = percentile_degree(graph, dmax_percentile)
+    config = CensusConfig(
+        max_edges=emax, max_degree=dmax, mask_start_label=mask_start_label
+    )
+    times = np.empty(len(nodes))
+    for i, node in enumerate(nodes):
+        started = time.perf_counter()
+        subgraph_census(graph, int(node), config)
+        times[i] = time.perf_counter() - started
+    return times
+
+
+def time_embeddings_per_node(
+    graph: HeteroGraph,
+    params: EmbeddingParams,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Total embedding training time divided by node count, per method."""
+    per_node = {}
+    probe = [0]
+    for method in EMBEDDING_METHODS:
+        started = time.perf_counter()
+        embedding_matrix(graph, probe, method, params, seed=seed)
+        per_node[method] = (time.perf_counter() - started) / graph.num_nodes
+    return per_node
+
+
+def runtime_report(
+    dataset: str,
+    graph: HeteroGraph,
+    nodes,
+    emax: int = 3,
+    dmax_percentile: float = 90.0,
+    embedding_params: EmbeddingParams | None = None,
+    seed: int = 0,
+) -> RuntimeReport:
+    """Build one Table 3 row for a dataset."""
+    times = time_census_per_node(graph, nodes, emax, dmax_percentile)
+    params = embedding_params if embedding_params is not None else EmbeddingParams.fast()
+    embedding_mean = time_embeddings_per_node(graph, params, seed=seed)
+    return RuntimeReport(
+        dataset=dataset,
+        census_mean=float(times.mean()),
+        census_p75=float(np.percentile(times, 75)),
+        census_p90=float(np.percentile(times, 90)),
+        census_p95=float(np.percentile(times, 95)),
+        census_max=float(times.max()),
+        embedding_mean=embedding_mean,
+        num_nodes_timed=len(nodes),
+    )

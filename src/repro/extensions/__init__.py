@@ -1,0 +1,22 @@
+"""Future-work extensions of the paper (Section 5): directed and
+edge-heterogeneous subgraph features via endpoint-role-typed edges."""
+
+from repro.extensions.edge_typed import (
+    IN,
+    OUT,
+    EdgeTypedGraph,
+    TypedEdge,
+    directed_census_matrix,
+    encode_typed_subgraph,
+    typed_subgraph_census,
+)
+
+__all__ = [
+    "EdgeTypedGraph",
+    "IN",
+    "OUT",
+    "TypedEdge",
+    "directed_census_matrix",
+    "encode_typed_subgraph",
+    "typed_subgraph_census",
+]

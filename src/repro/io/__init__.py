@@ -1,0 +1,29 @@
+"""Serialisation of heterogeneous graphs and extracted features."""
+
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.graphml import read_graphml, write_graphml
+from repro.io.jsongraph import (
+    features_from_dict,
+    features_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    read_features_json,
+    read_graph_json,
+    write_features_json,
+    write_graph_json,
+)
+
+__all__ = [
+    "features_from_dict",
+    "features_to_dict",
+    "graph_from_dict",
+    "graph_to_dict",
+    "read_edgelist",
+    "read_features_json",
+    "read_graph_json",
+    "read_graphml",
+    "write_edgelist",
+    "write_graphml",
+    "write_features_json",
+    "write_graph_json",
+]

@@ -1,0 +1,48 @@
+"""GraphML import/export via networkx.
+
+GraphML is the lingua franca of graph tools (Gephi, igraph, yEd); this
+adapter lets heterogeneous networks flow in and out of the library with
+node labels stored in a configurable attribute (``label`` by default).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.graph import HeteroGraph
+from repro.core.labels import LabelSet
+from repro.exceptions import GraphError
+
+
+def write_graphml(graph: HeteroGraph, path: str | Path, label_attr: str = "label") -> None:
+    """Write a graph to GraphML with labels in ``label_attr``."""
+    import networkx as nx
+
+    nxg = graph.to_networkx()
+    if label_attr != "label":
+        for _node, data in nxg.nodes(data=True):
+            data[label_attr] = data.pop("label")
+    nx.write_graphml(nxg, str(path))
+
+
+def read_graphml(
+    path: str | Path,
+    label_attr: str = "label",
+    labelset: LabelSet | None = None,
+) -> HeteroGraph:
+    """Read a GraphML file whose nodes carry ``label_attr``.
+
+    Raises
+    ------
+    GraphError
+        If the file contains a directed graph or unlabelled nodes.
+    """
+    import networkx as nx
+
+    nxg = nx.read_graphml(str(path))
+    if nxg.is_directed():
+        raise GraphError(
+            "GraphML file contains a directed graph; HeteroGraph is "
+            "undirected (see repro.extensions for directed features)"
+        )
+    return HeteroGraph.from_networkx(nxg, label_attr=label_attr, labelset=labelset)

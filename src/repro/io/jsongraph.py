@@ -1,0 +1,100 @@
+"""JSON serialisation of graphs and extracted feature spaces.
+
+Graphs serialise to a stable ``{"labels": [...], "nodes": [...],
+"edges": [...]}`` document.  Feature spaces (census vocabularies) serialise
+alongside count matrices so an extraction can be persisted and re-loaded
+without re-running the census — useful because the census dominates
+end-to-end runtime (Table 3).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.encoding import CanonicalCode, code_to_string, string_to_code
+from repro.core.features import FeatureSpace, SubgraphFeatures
+from repro.core.graph import HeteroGraph
+from repro.core.labels import LabelSet
+from repro.exceptions import FeatureError
+
+
+def graph_to_dict(graph: HeteroGraph) -> dict:
+    """Plain-dict form of a graph (JSON-ready)."""
+    return {
+        "labels": list(graph.labelset.names),
+        "nodes": [
+            {"id": str(node_id), "label": graph.labelset.name(graph.label_of(i))}
+            for i, node_id in enumerate(graph.node_ids)
+        ],
+        "edges": [
+            [str(graph.node_id(u)), str(graph.node_id(v))] for u, v in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(document: dict) -> HeteroGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    labelset = LabelSet(tuple(document["labels"]))
+    node_labels = {node["id"]: node["label"] for node in document["nodes"]}
+    edges = [tuple(edge) for edge in document["edges"]]
+    return HeteroGraph.from_edges(node_labels, edges, labelset=labelset)
+
+
+def write_graph_json(graph: HeteroGraph, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(graph_to_dict(graph)), encoding="utf-8")
+
+
+def read_graph_json(path: str | Path) -> HeteroGraph:
+    return graph_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def features_to_dict(features: SubgraphFeatures, labelset: LabelSet) -> dict:
+    """Serialise a feature matrix with its vocabulary.
+
+    Vocabulary keys must be canonical codes (the census default); they are
+    stored in the readable string form of :mod:`repro.core.encoding`.
+    """
+    keys = []
+    for key in features.space.keys:
+        if not isinstance(key, tuple):
+            raise FeatureError(
+                "only canonical-code feature spaces can be serialised; "
+                "run the census with key='canonical'"
+            )
+        keys.append(code_to_string(key, labelset))
+    return {
+        "labels": list(labelset.names),
+        "codes": keys,
+        "nodes": list(features.nodes),
+        "matrix": features.matrix.tolist(),
+    }
+
+
+def features_from_dict(document: dict) -> SubgraphFeatures:
+    """Inverse of :func:`features_to_dict`."""
+    labelset = LabelSet(tuple(document["labels"]))
+    codes: list[CanonicalCode] = [
+        string_to_code(text, labelset) for text in document["codes"]
+    ]
+    space = FeatureSpace(codes)
+    matrix = np.asarray(document["matrix"], dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] != len(space):
+        raise FeatureError(
+            f"matrix shape {matrix.shape} does not match {len(space)} codes"
+        )
+    return SubgraphFeatures(matrix, space, tuple(int(n) for n in document["nodes"]))
+
+
+def write_features_json(
+    features: SubgraphFeatures, labelset: LabelSet, path: str | Path
+) -> None:
+    Path(path).write_text(
+        json.dumps(features_to_dict(features, labelset)), encoding="utf-8"
+    )
+
+
+def read_features_json(path: str | Path) -> SubgraphFeatures:
+    return features_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

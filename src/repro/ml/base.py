@@ -1,0 +1,91 @@
+"""Shared estimator plumbing for the from-scratch ML substrate.
+
+The paper evaluates with default-configured scikit-learn models; sklearn is
+not available here, so :mod:`repro.ml` reimplements the needed estimators on
+numpy.  This module holds the conventions they share: a scikit-like
+``fit`` / ``predict`` surface, input validation, and the fitted-state check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+def check_array(X, name: str = "X", min_samples: int = 1) -> np.ndarray:
+    """Coerce to a 2-D float array and validate shape and finiteness."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {X.shape}")
+    if X.shape[0] < min_samples:
+        raise ValueError(f"{name} needs at least {min_samples} samples, got {X.shape[0]}")
+    if X.shape[1] == 0:
+        raise ValueError(f"{name} has no features")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(f"{name} contains NaN or infinity")
+    return X
+
+
+def check_X_y(X, y, classification: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix together with its target vector."""
+    X = check_array(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} samples but y has {y.shape[0]}")
+    if not classification:
+        y = y.astype(np.float64)
+        if not np.all(np.isfinite(y)):
+            raise ValueError("y contains NaN or infinity")
+    return X, y
+
+
+class BaseEstimator:
+    """Minimal scikit-style estimator base.
+
+    Subclasses set ``self._fitted = True`` at the end of ``fit`` and call
+    :meth:`_check_fitted` at the top of ``predict``.
+    """
+
+    _fitted: bool = False
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} is not fitted; call fit(X, y) first"
+            )
+
+    def get_params(self) -> dict:
+        """Public constructor-style parameters (non-underscore attributes
+        that are not fit artefacts)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+class RegressorMixin:
+    """Adds the R^2 ``score`` used as a generic regression quality check."""
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(y, self.predict(X))
+
+
+class ClassifierMixin:
+    """Adds accuracy ``score`` for classifiers."""
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import accuracy
+
+        return accuracy(y, self.predict(X))

@@ -1,0 +1,141 @@
+"""Random forests by bagging the CART trees of :mod:`repro.ml.tree`.
+
+The paper's strongest rank-prediction method (Section 4.2.3, Figure 3,
+Table 1) is a random forest with 300 trees whose impurity importances drive
+the discriminative-subgraph analysis of Figure 4.
+
+Each tree trains on a bootstrap sample and considers a random feature
+subset at every split (``max_features``).  Defaults follow the era's
+scikit-learn: regressors consider all features, classifiers ``sqrt``.  The
+experiment pipelines pass ``max_features="sqrt"`` for regressors too when
+the subgraph vocabularies are large; that choice is recorded per experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    check_X_y,
+    check_array,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest(BaseEstimator):
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def _make_tree(self, seed: int):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        self.estimators_ = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            seed = int(rng.integers(0, 2**31 - 1))
+            tree = self._make_tree(seed)
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+            else:
+                sample = np.arange(n)
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+
+
+class RandomForestRegressor(_BaseForest, RegressorMixin):
+    """Bagged CART regressors; prediction is the mean over trees."""
+
+    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X, y = check_X_y(X, y)
+        self._fit_forest(X, y)
+        self._fitted = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X)
+        predictions = np.stack([tree.predict(X) for tree in self.estimators_])
+        return predictions.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest, ClassifierMixin):
+    """Bagged CART classifiers; prediction averages class probabilities.
+
+    Trees may see different bootstrap class subsets, so probabilities are
+    re-aligned to the forest-level ``classes_`` before averaging.
+    """
+
+    def __init__(self, max_features="sqrt", **kwargs) -> None:
+        super().__init__(max_features=max_features, **kwargs)
+        self.classes_: np.ndarray | None = None
+
+    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            random_state=seed,
+        )
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = check_array(X)
+        y = np.asarray(y)
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} samples but y has {y.shape[0]}")
+        self.classes_ = np.unique(y)
+        self._fit_forest(X, y)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = check_array(X)
+        total = np.zeros((X.shape[0], self.classes_.size))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self.estimators_:
+            probabilities = tree.predict_proba(X)
+            columns = [class_index[c] for c in tree.classes_]
+            total[:, columns] += probabilities
+        return total / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]

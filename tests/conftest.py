@@ -1,0 +1,126 @@
+"""Shared fixtures: small deterministic graphs and a brute-force census.
+
+The brute-force census enumerates *all* connected edge subsets containing a
+root by filtering every subset of the edge set — exponential, fine for the
+tiny fixtures — and is the ground truth the real census is checked against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+
+import pytest
+
+from repro.core.encoding import encode_subgraph
+from repro.core.graph import HeteroGraph
+
+
+@pytest.fixture
+def triangle_graph() -> HeteroGraph:
+    """A-B-C triangle with three distinct labels."""
+    return HeteroGraph.from_edges(
+        {"a": "A", "b": "B", "c": "C"},
+        [("a", "b"), ("b", "c"), ("a", "c")],
+    )
+
+
+@pytest.fixture
+def paper_path_graph() -> HeteroGraph:
+    """The z-y-z path of Figure 1B (plus an isolated x node)."""
+    return HeteroGraph.from_edges(
+        {"n1": "z", "n2": "y", "n3": "z", "nx": "x"},
+        [("n1", "n2"), ("n2", "n3")],
+    )
+
+
+@pytest.fixture
+def publication_graph() -> HeteroGraph:
+    """A miniature institution/author/paper network (Figure 1A flavour)."""
+    return HeteroGraph.from_edges(
+        {
+            "i1": "I",
+            "i2": "I",
+            "a1": "A",
+            "a2": "A",
+            "a3": "A",
+            "p1": "P",
+            "p2": "P",
+        },
+        [
+            ("i1", "a1"),
+            ("i1", "a2"),
+            ("i2", "a3"),
+            ("a1", "p1"),
+            ("a2", "p1"),
+            ("a3", "p1"),
+            ("a3", "p2"),
+            ("p1", "p2"),
+        ],
+    )
+
+
+@pytest.fixture
+def dense_two_label_graph() -> HeteroGraph:
+    """K4 with alternating labels: many overlapping rooted subgraphs."""
+    nodes = {f"v{i}": ("X" if i % 2 else "Y") for i in range(4)}
+    edges = [(f"v{i}", f"v{j}") for i in range(4) for j in range(i + 1, 4)]
+    return HeteroGraph.from_edges(nodes, edges)
+
+
+def brute_force_census(
+    graph: HeteroGraph,
+    root: int,
+    max_edges: int,
+    mask_start_label: bool = False,
+    include_trivial: bool = False,
+) -> Counter:
+    """Reference census: filter all edge subsets of size <= max_edges.
+
+    A subset counts iff it is connected and its node set contains ``root``.
+    Encoding matches the census's effective labelling (optional mask).
+    """
+    if mask_start_label:
+        labelset = graph.labelset.with_mask()
+        mask = labelset.mask_index
+        eff = lambda v: mask if v == root else graph.label_of(v)  # noqa: E731
+        num_labels = len(labelset)
+    else:
+        eff = graph.label_of
+        num_labels = len(graph.labelset)
+
+    edges = list(graph.edges())
+    counts: Counter = Counter()
+    if include_trivial:
+        counts[encode_subgraph([eff(root)], [], num_labels)] += 1
+    for size in range(1, max_edges + 1):
+        for subset in combinations(edges, size):
+            nodes = sorted({v for edge in subset for v in edge})
+            if root not in nodes:
+                continue
+            if not _connected(nodes, subset):
+                continue
+            relabel = {v: i for i, v in enumerate(nodes)}
+            code = encode_subgraph(
+                [eff(v) for v in nodes],
+                [(relabel[u], relabel[v]) for u, v in subset],
+                num_labels,
+            )
+            counts[code] += 1
+    return counts
+
+
+def _connected(nodes, edges) -> bool:
+    adjacency = {v: set() for v in nodes}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    seen = {nodes[0]}
+    stack = [nodes[0]]
+    while stack:
+        current = stack.pop()
+        for neighbour in adjacency[current]:
+            if neighbour not in seen:
+                seen.add(neighbour)
+                stack.append(neighbour)
+    return len(seen) == len(nodes)

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_edgelist, write_graph_json
+
+
+@pytest.fixture
+def graph_json(publication_graph, tmp_path):
+    target = tmp_path / "graph.json"
+    write_graph_json(publication_graph, target)
+    return str(target)
+
+
+@pytest.fixture
+def graph_hel(publication_graph, tmp_path):
+    target = tmp_path / "graph.hel"
+    write_edgelist(publication_graph, target)
+    return str(target)
+
+
+class TestInfo:
+    def test_summarises(self, graph_json, capsys):
+        assert main(["info", graph_json]) == 0
+        out = capsys.readouterr().out
+        assert "HeteroGraph" in out
+        assert "I: 2 nodes" in out
+        assert "degree" in out
+
+    def test_edgelist_format(self, graph_hel, capsys):
+        assert main(["info", graph_hel]) == 0
+        assert "nodes=7" in capsys.readouterr().out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["info", "/nonexistent/graph.json"])
+
+
+class TestConnectivity:
+    def test_renders_pairs(self, graph_json, capsys):
+        assert main(["connectivity", graph_json]) == 0
+        out = capsys.readouterr().out
+        assert "I -- A" in out
+        assert "collision-free e_max: 4" in out  # P-P loop present
+
+
+class TestCensus:
+    def test_counts_printed(self, graph_json, capsys):
+        assert main(["census", graph_json, "--root", "i1", "--emax", "2"]) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.strip().split("\n") if l]
+        assert all("\t" in line for line in lines)
+        assert "classes" in captured.err
+
+    def test_describe_flag(self, graph_json, capsys):
+        assert main(
+            ["census", graph_json, "--root", "i1", "--emax", "2", "--describe"]
+        ) == 0
+        assert "nodes" in capsys.readouterr().out
+
+    def test_mask_flag(self, graph_json, capsys):
+        assert main(
+            ["census", graph_json, "--root", "i1", "--emax", "1", "--mask"]
+        ) == 0
+        assert "__mask__" in capsys.readouterr().out
+
+
+class TestFeatures:
+    def test_writes_json(self, graph_json, tmp_path, capsys):
+        out_path = tmp_path / "features.json"
+        code = main(
+            [
+                "features",
+                graph_json,
+                "--nodes",
+                "i1,i2",
+                "--emax",
+                "2",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert len(document["matrix"]) == 2
+        assert "wrote 2 x" in capsys.readouterr().out
+
+    def test_empty_nodes_rejected(self, graph_json, tmp_path):
+        with pytest.raises(SystemExit, match="at least one node"):
+            main(
+                [
+                    "features",
+                    graph_json,
+                    "--nodes",
+                    "",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+
+
+class TestCollisions:
+    def test_reports_bound(self, capsys):
+        assert main(["collisions", "--labels", "2", "--max-edges", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "collision-free e_max >= 4" in out
+
+    def test_first_collision_printed(self, capsys):
+        assert main(
+            ["collisions", "--labels", "2", "--max-edges", "5", "--first"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SmallGraph" in out

@@ -1,0 +1,67 @@
+"""Collision analysis tests: reproduce the Section 3.1 / Figure 1C bounds."""
+
+import pytest
+
+from repro.core.collisions import find_collisions
+from repro.core.isomorphism import are_isomorphic
+
+
+class TestBounds:
+    """The paper's e_max bounds, re-derived by exhaustive enumeration."""
+
+    def test_no_collisions_up_to_4_edges_with_loops(self):
+        report = find_collisions(2, 4, allow_same_label_edges=True)
+        assert report.collisions == []
+        assert report.collision_free_emax == 4
+
+    def test_first_collision_at_5_edges_with_loops(self):
+        report = find_collisions(2, 5, allow_same_label_edges=True, stop_at_first=True)
+        assert report.first_collision_edges == 5
+        assert report.collision_free_emax == 4
+
+    def test_no_collisions_up_to_5_edges_without_loops(self):
+        report = find_collisions(2, 5, allow_same_label_edges=False)
+        assert report.collisions == []
+        assert report.collision_free_emax == 5
+
+    def test_first_collision_at_6_edges_without_loops(self):
+        report = find_collisions(
+            3, 6, allow_same_label_edges=False, stop_at_first=True
+        )
+        assert report.first_collision_edges == 6
+        assert report.collision_free_emax == 5
+
+    def test_single_label_collision_is_classic(self):
+        """With one label the first collision also appears at 5 edges
+        (Figure 1C left shows single-label colliding graphs)."""
+        report = find_collisions(1, 5, stop_at_first=True)
+        assert report.first_collision_edges == 5
+
+
+class TestCollisionRecords:
+    def test_collision_members_not_isomorphic_but_same_code(self):
+        report = find_collisions(2, 5, allow_same_label_edges=True, stop_at_first=True)
+        collision = report.collisions[0]
+        assert not are_isomorphic(collision.first, collision.second)
+        assert collision.first.encode(2) == collision.second.encode(2)
+        assert collision.num_edges == 5
+
+    def test_graphs_checked_positive(self):
+        report = find_collisions(2, 3)
+        assert report.graphs_checked > 10
+
+    def test_summary_renders(self):
+        report = find_collisions(2, 3)
+        text = report.summary()
+        assert "collision-free e_max" in text
+        assert "classes" in text
+
+    def test_first_collision_none_when_clean(self):
+        report = find_collisions(2, 3)
+        assert report.first_collision_edges is None
+        assert report.collision_free_emax == 3
+
+    def test_max_nodes_forwarded(self):
+        small = find_collisions(1, 4, max_nodes=3)
+        full = find_collisions(1, 4)
+        assert small.graphs_checked < full.graphs_checked

@@ -1,0 +1,148 @@
+"""Edge-case and failure-injection tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CensusConfig,
+    HeteroGraph,
+    census_total,
+    subgraph_census,
+)
+from repro.exceptions import CensusError
+
+
+class TestCensusEdgeCases:
+    def test_single_edge_graph(self):
+        graph = HeteroGraph.from_edges({"a": "A", "b": "B"}, [("a", "b")])
+        for root in (0, 1):
+            counts = subgraph_census(graph, root, CensusConfig(max_edges=5))
+            assert census_total(counts) == 1
+
+    def test_mask_plus_hash_key(self, publication_graph):
+        """Masking composes with the hash key mode."""
+        masked = subgraph_census(
+            publication_graph,
+            0,
+            CensusConfig(max_edges=2, mask_start_label=True, key="hash"),
+        )
+        unmasked = subgraph_census(
+            publication_graph, 0, CensusConfig(max_edges=2, key="hash")
+        )
+        assert census_total(masked) == census_total(unmasked)
+        assert masked != unmasked  # hash values differ under the mask label
+
+    def test_mask_on_single_label_graph(self):
+        graph = HeteroGraph.from_edges(
+            {"a": "X", "b": "X", "c": "X"}, [("a", "b"), ("b", "c")]
+        )
+        counts = subgraph_census(
+            graph, 0, CensusConfig(max_edges=2, mask_start_label=True)
+        )
+        # Codes are expressed over the extended (X, __mask__) alphabet.
+        for code in counts:
+            assert all(len(seq) == 3 for seq in code)
+
+    def test_large_emax_on_tree_terminates(self):
+        """e_max far above the subgraph count must not loop or overcount."""
+        graph = HeteroGraph.from_edges(
+            {"r": "A", "x": "B", "y": "B"}, [("r", "x"), ("r", "y")]
+        )
+        counts = subgraph_census(graph, 0, CensusConfig(max_edges=50))
+        assert census_total(counts) == 3  # two edges + the pair
+
+    def test_cycle_counted_once(self):
+        """The full cycle is one subgraph regardless of traversal."""
+        graph = HeteroGraph.from_edges(
+            {"a": "X", "b": "X", "c": "X", "d": "X"},
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+        )
+        counts = subgraph_census(graph, 0, CensusConfig(max_edges=4))
+        cycle_codes = [
+            code for code in counts
+            if len(code) == 4 and all(sum(seq[1:]) == 2 for seq in code)
+        ]
+        assert len(cycle_codes) == 1
+        assert counts[cycle_codes[0]] == 1
+
+    def test_parallel_component_invisible(self):
+        """Subgraphs never leak across connected components."""
+        graph = HeteroGraph.from_edges(
+            {"a": "A", "b": "B", "x": "A", "y": "B"},
+            [("a", "b"), ("x", "y")],
+        )
+        counts = subgraph_census(graph, 0, CensusConfig(max_edges=5))
+        assert census_total(counts) == 1
+
+    def test_dmax_zero_blocks_everything_beyond_neighbours(self):
+        graph = HeteroGraph.from_edges(
+            {"r": "A", "m": "B", "far": "C"}, [("r", "m"), ("m", "far")]
+        )
+        counts = subgraph_census(
+            graph, 0, CensusConfig(max_edges=3, max_degree=0)
+        )
+        # m has degree 2 > 0 -> not expanded; only the r-m edge is found.
+        assert census_total(counts) == 1
+
+
+class TestExperimentEdgeCases:
+    def test_rank_dectree_path(self):
+        """The DecTree regressor path (top-5 selection, no scaling)."""
+        from repro.datasets import MagConfig, SyntheticMAG
+        from repro.experiments import RankPredictionExperiment, RankTaskConfig
+
+        mag = SyntheticMAG(
+            MagConfig(
+                num_institutions=8,
+                authors_per_institution=2,
+                papers_per_conference_year=10,
+                conferences=("KDD",),
+                years=(2013, 2014, 2015),
+                seed=2,
+            )
+        )
+        config = RankTaskConfig(
+            train_years=(2014,), test_year=2015, emax=2, forest_trees=5, seed=0
+        )
+        experiment = RankPredictionExperiment(mag, config)
+        result = experiment.run(families=("classic",), regressors=("DecTree",))
+        assert 0.0 <= result.ndcg[("DecTree", "classic", "KDD")] <= 1.0
+
+    def test_label_experiment_root_filter_disabled(self):
+        from repro.datasets import LoadConfig, SyntheticLOAD
+        from repro.experiments import LabelPredictionExperiment, LabelTaskConfig
+
+        load = SyntheticLOAD(
+            LoadConfig(
+                num_locations=30,
+                num_organizations=20,
+                num_actors=30,
+                num_dates=15,
+                mean_degree=6,
+                seed=22,
+            )
+        )
+        with_filter = LabelPredictionExperiment(
+            load.graph, LabelTaskConfig(per_label=10, seed=0)
+        )
+        without_filter = LabelPredictionExperiment(
+            load.graph,
+            LabelTaskConfig(per_label=10, seed=0, root_degree_percentile=None),
+        )
+        degrees = load.graph.degrees()
+        assert degrees[with_filter.nodes].max() <= degrees[without_filter.nodes].max()
+
+
+class TestRenderingEdgeCases:
+    def test_render_table_handles_nan(self):
+        from repro.experiments.reporting import render_table
+
+        text = render_table("T", ["x"], [("row", [float("nan")])])
+        assert "nan" in text
+
+    def test_sweep_result_empty_query_raises(self):
+        from repro.experiments.label_prediction import SweepResult
+
+        sweep = SweepResult({})
+        with pytest.raises(KeyError):
+            sweep.mean("subgraph", 0.5)

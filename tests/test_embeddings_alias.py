@@ -1,0 +1,63 @@
+"""Unit tests for the alias sampling table."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.alias import AliasTable
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, -1.0])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+
+class TestSampling:
+    def test_scalar_sample(self):
+        table = AliasTable([1.0, 1.0])
+        rng = np.random.default_rng(0)
+        value = table.sample(rng)
+        assert value in (0, 1)
+
+    def test_uniform_distribution(self):
+        table = AliasTable(np.ones(4))
+        rng = np.random.default_rng(1)
+        draws = table.sample(rng, 40_000)
+        frequencies = np.bincount(draws, minlength=4) / 40_000
+        assert np.allclose(frequencies, 0.25, atol=0.02)
+
+    def test_skewed_distribution(self):
+        weights = np.array([8.0, 1.0, 1.0])
+        table = AliasTable(weights)
+        rng = np.random.default_rng(2)
+        draws = table.sample(rng, 50_000)
+        frequencies = np.bincount(draws, minlength=3) / 50_000
+        assert np.allclose(frequencies, weights / weights.sum(), atol=0.02)
+
+    def test_degenerate_single_outcome(self):
+        table = AliasTable([0.0, 5.0, 0.0])
+        rng = np.random.default_rng(3)
+        draws = table.sample(rng, 1000)
+        assert set(draws) == {1}
+
+    def test_deterministic_given_rng(self):
+        table = AliasTable([1.0, 2.0, 3.0])
+        a = table.sample(np.random.default_rng(7), 100)
+        b = table.sample(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+    def test_single_element(self):
+        table = AliasTable([2.0])
+        assert table.sample(np.random.default_rng(0)) == 0

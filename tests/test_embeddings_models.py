@@ -1,0 +1,143 @@
+"""Tests for the skip-gram trainer and the three embedding baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import HeteroGraph
+from repro.embeddings import DeepWalk, LINE, Node2Vec, SkipGramTrainer
+from repro.embeddings.skipgram import walks_to_pairs
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    """Two dense communities with a thin bridge; labels alternate."""
+    rng = np.random.default_rng(0)
+    half = 30
+    labels = {f"v{i}": ("A" if i % 2 else "B") for i in range(2 * half)}
+    edges = set()
+    for block in range(2):
+        for _ in range(250):
+            a, b = rng.integers(0, half, 2)
+            if a != b:
+                u, v = sorted((block * half + a, block * half + b))
+                edges.add((f"v{u}", f"v{v}"))
+    for _ in range(4):
+        a, b = rng.integers(0, half, 2)
+        edges.add((f"v{a}", f"v{half + b}"))
+    return HeteroGraph.from_edges(labels, edges), half
+
+
+def _community_separation(embedding: np.ndarray, half: int) -> float:
+    normed = embedding / (np.linalg.norm(embedding, axis=1, keepdims=True) + 1e-12)
+    within = float((normed[:half] @ normed[:half].T).mean())
+    across = float((normed[:half] @ normed[half:].T).mean())
+    return within - across
+
+
+class TestWalksToPairs:
+    def test_pairs_within_window(self):
+        rng = np.random.default_rng(0)
+        walks = [np.array([1, 2, 3, 4, 5])]
+        pairs = walks_to_pairs(walks, window=2, rng=rng)
+        assert pairs.shape[1] == 2
+        for centre, context in pairs:
+            positions = {v: i for i, v in enumerate(walks[0])}
+            assert abs(positions[centre] - positions[context]) <= 2
+
+    def test_short_walks_skipped(self):
+        rng = np.random.default_rng(0)
+        pairs = walks_to_pairs([np.array([7])], window=3, rng=rng)
+        assert pairs.shape == (0, 2)
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            walks_to_pairs([], window=0, rng=np.random.default_rng(0))
+
+
+class TestSkipGram:
+    def test_output_shape(self):
+        walks = [np.array([0, 1, 2, 1, 0])] * 20
+        trainer = SkipGramTrainer(dim=8, window=2, seed=0)
+        embedding = trainer.fit(walks, num_nodes=3)
+        assert embedding.shape == (3, 8)
+        assert np.all(np.isfinite(embedding))
+
+    def test_empty_corpus_rejected(self):
+        trainer = SkipGramTrainer(dim=4, seed=0)
+        with pytest.raises(ValueError):
+            trainer.fit([np.array([1])], num_nodes=2)
+
+    def test_cooccurring_nodes_closer(self):
+        """Nodes that always co-occur end up more similar than strangers."""
+        rng = np.random.default_rng(0)
+        walks = []
+        for _ in range(300):
+            walks.append(np.array([0, 1] * 4))
+            walks.append(np.array([2, 3] * 4))
+        embedding = SkipGramTrainer(dim=16, window=2, epochs=3, seed=0).fit(walks, 4)
+        normed = embedding / np.linalg.norm(embedding, axis=1, keepdims=True)
+        together = normed[0] @ normed[1]
+        apart = normed[0] @ normed[3]
+        assert together > apart
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SkipGramTrainer(dim=0)
+        with pytest.raises(ValueError):
+            SkipGramTrainer(negative=0)
+        with pytest.raises(ValueError):
+            SkipGramTrainer(epochs=0)
+
+
+class TestBaselines:
+    def test_deepwalk_separates_communities(self, community_graph):
+        graph, half = community_graph
+        model = DeepWalk(dim=24, num_walks=10, walk_length=30, window=5, seed=0)
+        model.fit(graph)
+        assert _community_separation(model.embedding_, half) > 0.2
+
+    def test_node2vec_separates_communities(self, community_graph):
+        graph, half = community_graph
+        model = Node2Vec(dim=24, num_walks=10, walk_length=30, window=5, seed=0)
+        model.fit(graph)
+        assert _community_separation(model.embedding_, half) > 0.2
+
+    def test_line_separates_communities(self, community_graph):
+        graph, half = community_graph
+        model = LINE(dim=24, num_samples=60_000, seed=0)
+        model.fit(graph)
+        assert _community_separation(model.embedding_, half) > 0.1
+
+    def test_line_concatenates_two_halves(self, community_graph):
+        graph, _ = community_graph
+        model = LINE(dim=10, num_samples=5_000, seed=0).fit(graph)
+        assert model.embedding_.shape == (graph.num_nodes, 10)
+
+    def test_line_needs_edges(self):
+        graph = HeteroGraph.from_edges({"a": "A"}, [])
+        with pytest.raises(ValueError):
+            LINE(dim=4, num_samples=10).fit(graph)
+
+    def test_transform_before_fit_raises(self, community_graph):
+        graph, _ = community_graph
+        with pytest.raises(RuntimeError):
+            DeepWalk().transform([0])
+        with pytest.raises(RuntimeError):
+            LINE().transform([0])
+
+    def test_transform_selects_rows(self, community_graph):
+        graph, _ = community_graph
+        model = DeepWalk(dim=8, num_walks=2, walk_length=10, seed=0).fit(graph)
+        rows = model.transform([3, 5])
+        assert np.array_equal(rows[0], model.embedding_[3])
+        assert np.array_equal(rows[1], model.embedding_[5])
+
+    def test_deterministic_with_seed(self, community_graph):
+        graph, _ = community_graph
+        a = DeepWalk(dim=8, num_walks=2, walk_length=10, seed=4).fit(graph)
+        b = DeepWalk(dim=8, num_walks=2, walk_length=10, seed=4).fit(graph)
+        assert np.array_equal(a.embedding_, b.embedding_)
+
+    def test_line_dim_validation(self):
+        with pytest.raises(ValueError):
+            LINE(dim=1)

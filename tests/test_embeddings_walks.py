@@ -1,0 +1,123 @@
+"""Unit tests for random-walk corpora."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import HeteroGraph
+from repro.embeddings.walks import (
+    node2vec_walks,
+    uniform_random_walks,
+    walk_node_frequencies,
+)
+
+
+@pytest.fixture
+def line_graph():
+    """Path a-b-c-d."""
+    return HeteroGraph.from_edges(
+        {"a": "X", "b": "X", "c": "X", "d": "X"},
+        [("a", "b"), ("b", "c"), ("c", "d")],
+    )
+
+
+class TestUniformWalks:
+    def test_walk_count(self, line_graph):
+        walks = uniform_random_walks(line_graph, num_walks=3, walk_length=5, rng=0)
+        assert len(walks) == 3 * line_graph.num_nodes
+
+    def test_walk_length_bound(self, line_graph):
+        walks = uniform_random_walks(line_graph, num_walks=2, walk_length=7, rng=0)
+        assert all(1 <= len(w) <= 7 for w in walks)
+
+    def test_steps_follow_edges(self, line_graph):
+        walks = uniform_random_walks(line_graph, num_walks=2, walk_length=10, rng=1)
+        for walk in walks:
+            for u, v in zip(walk, walk[1:]):
+                assert line_graph.has_edge(int(u), int(v))
+
+    def test_isolated_node_stops(self):
+        graph = HeteroGraph.from_edges({"a": "X", "b": "X", "i": "X"}, [("a", "b")])
+        walks = uniform_random_walks(graph, num_walks=1, walk_length=5, rng=0)
+        isolated_walks = [w for w in walks if w[0] == graph.index("i")]
+        assert all(len(w) == 1 for w in isolated_walks)
+
+    def test_restricted_start_nodes(self, line_graph):
+        walks = uniform_random_walks(
+            line_graph, num_walks=2, walk_length=3, rng=0, nodes=[0]
+        )
+        assert len(walks) == 2
+        assert all(w[0] == 0 for w in walks)
+
+    def test_bad_params(self, line_graph):
+        with pytest.raises(ValueError):
+            uniform_random_walks(line_graph, num_walks=0)
+        with pytest.raises(ValueError):
+            uniform_random_walks(line_graph, walk_length=0)
+
+    def test_deterministic(self, line_graph):
+        a = uniform_random_walks(line_graph, num_walks=2, walk_length=5, rng=3)
+        b = uniform_random_walks(line_graph, num_walks=2, walk_length=5, rng=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestNode2VecWalks:
+    def test_default_params_match_uniform(self, line_graph):
+        """p = q = 1 short-circuits to the uniform walker (same stream)."""
+        uniform = uniform_random_walks(line_graph, num_walks=2, walk_length=5, rng=9)
+        biased = node2vec_walks(line_graph, num_walks=2, walk_length=5, p=1, q=1, rng=9)
+        assert all(np.array_equal(a, b) for a, b in zip(uniform, biased))
+
+    def test_steps_follow_edges(self, line_graph):
+        walks = node2vec_walks(
+            line_graph, num_walks=2, walk_length=8, p=0.5, q=2.0, rng=2
+        )
+        for walk in walks:
+            for u, v in zip(walk, walk[1:]):
+                assert line_graph.has_edge(int(u), int(v))
+
+    def test_high_p_discourages_backtracking(self):
+        """On a path graph a huge p makes immediate returns rare."""
+        graph = HeteroGraph.from_edges(
+            {f"v{i}": "X" for i in range(10)},
+            [(f"v{i}", f"v{i + 1}") for i in range(9)],
+        )
+        returns = total = 0
+        walks = node2vec_walks(
+            graph, num_walks=20, walk_length=10, p=1000.0, q=1.0, rng=0
+        )
+        for walk in walks:
+            for i in range(2, len(walk)):
+                total += 1
+                if walk[i] == walk[i - 2]:
+                    returns += 1
+        # interior path nodes only return when forced (dead ends aside)
+        assert returns / total < 0.2
+
+    def test_low_p_encourages_backtracking(self):
+        graph = HeteroGraph.from_edges(
+            {f"v{i}": "X" for i in range(10)},
+            [(f"v{i}", f"v{i + 1}") for i in range(9)],
+        )
+        returns = total = 0
+        walks = node2vec_walks(
+            graph, num_walks=20, walk_length=10, p=0.001, q=1.0, rng=0
+        )
+        for walk in walks:
+            for i in range(2, len(walk)):
+                total += 1
+                if walk[i] == walk[i - 2]:
+                    returns += 1
+        assert returns / total > 0.8
+
+    def test_bad_pq(self, line_graph):
+        with pytest.raises(ValueError):
+            node2vec_walks(line_graph, p=0.0)
+        with pytest.raises(ValueError):
+            node2vec_walks(line_graph, q=-1.0)
+
+
+class TestFrequencies:
+    def test_counts_every_occurrence(self, line_graph):
+        walks = [np.array([0, 1, 0]), np.array([2])]
+        frequencies = walk_node_frequencies(walks, 4)
+        assert frequencies.tolist() == [2.0, 1.0, 1.0, 0.0]

@@ -1,0 +1,83 @@
+"""Tests for shared experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LoadConfig, SyntheticLOAD
+from repro.experiments.common import (
+    EMBEDDING_METHODS,
+    EmbeddingParams,
+    embedding_matrix,
+    percentile_degree,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return SyntheticLOAD(
+        LoadConfig(
+            num_locations=30,
+            num_organizations=20,
+            num_actors=30,
+            num_dates=15,
+            mean_degree=6,
+            seed=21,
+        )
+    ).graph
+
+
+class TestEmbeddingParams:
+    def test_paper_preset_matches_section_422(self):
+        params = EmbeddingParams.paper()
+        assert params.dim == 128
+        assert params.num_walks == 10
+        assert params.walk_length == 80
+        assert params.window == 10
+        assert params.negative == 5
+        assert params.p == 1.0 and params.q == 1.0
+
+    def test_fast_preset_is_smaller(self):
+        fast, paper = EmbeddingParams.fast(), EmbeddingParams.paper()
+        assert fast.dim < paper.dim
+        assert fast.num_walks < paper.num_walks
+        assert fast.walk_length < paper.walk_length
+
+
+class TestEmbeddingMatrix:
+    @pytest.fixture(scope="class")
+    def params(self):
+        return EmbeddingParams(
+            dim=8, num_walks=2, walk_length=8, window=3, line_samples=2_000
+        )
+
+    def test_every_method_produces_rows(self, tiny_graph, params):
+        for method in EMBEDDING_METHODS:
+            matrix = embedding_matrix(tiny_graph, [0, 1, 2], method, params, seed=0)
+            assert matrix.shape == (3, 8)
+            assert np.all(np.isfinite(matrix))
+
+    def test_methods_have_distinct_streams(self, tiny_graph, params):
+        """node2vec with p=q=1 walks like DeepWalk but must not be
+        bit-identical (per-method seed offsets)."""
+        deepwalk = embedding_matrix(tiny_graph, [0, 1], "deepwalk", params, seed=0)
+        node2vec = embedding_matrix(tiny_graph, [0, 1], "node2vec", params, seed=0)
+        assert not np.array_equal(deepwalk, node2vec)
+
+    def test_unknown_method_raises(self, tiny_graph, params):
+        with pytest.raises(ValueError, match="unknown embedding"):
+            embedding_matrix(tiny_graph, [0], "word2vec", params)
+
+    def test_deterministic_per_method(self, tiny_graph, params):
+        a = embedding_matrix(tiny_graph, [0], "line", params, seed=5)
+        b = embedding_matrix(tiny_graph, [0], "line", params, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestPercentileDegree:
+    def test_monotone_in_percentile(self, tiny_graph):
+        p50 = percentile_degree(tiny_graph, 50)
+        p90 = percentile_degree(tiny_graph, 90)
+        assert p50 <= p90
+
+    def test_hundred_is_none(self, tiny_graph):
+        assert percentile_degree(tiny_graph, 100) is None

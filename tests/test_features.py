@@ -1,0 +1,146 @@
+"""Unit tests for feature spaces and the subgraph feature extractor."""
+
+import numpy as np
+import pytest
+
+from repro.core.census import CensusConfig, subgraph_census
+from repro.core.features import FeatureSpace, SubgraphFeatureExtractor
+from repro.exceptions import FeatureError
+
+
+class TestFeatureSpace:
+    def test_add_assigns_columns_in_order(self):
+        space = FeatureSpace()
+        assert space.add("a") == 0
+        assert space.add("b") == 1
+        assert space.add("a") == 0  # idempotent
+        assert len(space) == 2
+
+    def test_fit_absorbs_counter_keys(self):
+        from collections import Counter
+
+        space = FeatureSpace().fit([Counter({"x": 1}), Counter({"y": 2, "x": 1})])
+        assert set(space.keys) == {"x", "y"}
+
+    def test_index_unknown_raises(self):
+        space = FeatureSpace(["a"])
+        with pytest.raises(FeatureError):
+            space.index("b")
+
+    def test_key_at_roundtrip(self):
+        space = FeatureSpace(["a", "b"])
+        assert space.key_at(space.index("b")) == "b"
+
+    def test_key_at_out_of_range(self):
+        with pytest.raises(FeatureError):
+            FeatureSpace(["a"]).key_at(5)
+
+    def test_contains(self):
+        space = FeatureSpace(["a"])
+        assert "a" in space
+        assert "b" not in space
+
+    def test_to_matrix_aligns_and_drops_unknown(self):
+        from collections import Counter
+
+        space = FeatureSpace(["a", "b"])
+        matrix = space.to_matrix([Counter({"a": 3}), Counter({"b": 1, "zzz": 9})])
+        assert matrix.shape == (2, 2)
+        assert matrix[0].tolist() == [3.0, 0.0]
+        assert matrix[1].tolist() == [0.0, 1.0]
+
+    def test_to_matrix_empty_space_raises(self):
+        from collections import Counter
+
+        with pytest.raises(FeatureError):
+            FeatureSpace().to_matrix([Counter()])
+
+
+class TestExtractor:
+    def test_fit_transform_counts_match_census(self, publication_graph):
+        config = CensusConfig(max_edges=3)
+        extractor = SubgraphFeatureExtractor(config)
+        nodes = [0, 3, 5]
+        features = extractor.fit_transform(publication_graph, nodes)
+        assert features.matrix.shape[0] == 3
+        assert features.nodes == (0, 3, 5)
+        for row, node in enumerate(nodes):
+            reference = subgraph_census(publication_graph, node, config)
+            total = features.matrix[row].sum()
+            assert total == sum(reference.values())
+
+    def test_transform_aligns_to_existing_space(self, publication_graph):
+        config = CensusConfig(max_edges=3)
+        extractor = SubgraphFeatureExtractor(config)
+        train = extractor.fit_transform(publication_graph, [0, 1])
+        test = extractor.transform(publication_graph, [2], train.space)
+        assert test.matrix.shape == (1, train.num_features)
+
+    def test_deterministic_columns(self, publication_graph):
+        config = CensusConfig(max_edges=3)
+        a = SubgraphFeatureExtractor(config).fit_transform(publication_graph, [0, 1])
+        b = SubgraphFeatureExtractor(config).fit_transform(publication_graph, [0, 1])
+        assert a.space.keys == b.space.keys
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_isolated_nodes_raise_on_empty_vocabulary(self):
+        from repro.core.graph import HeteroGraph
+
+        graph = HeteroGraph.from_edges({"a": "A", "b": "B"}, [])
+        extractor = SubgraphFeatureExtractor(CensusConfig(max_edges=2))
+        with pytest.raises(FeatureError, match="isolated"):
+            extractor.fit_transform(graph, [0, 1])
+
+    def test_bad_n_jobs(self):
+        with pytest.raises(FeatureError):
+            SubgraphFeatureExtractor(n_jobs=0)
+
+    def test_parallel_matches_serial(self, publication_graph):
+        config = CensusConfig(max_edges=3)
+        serial = SubgraphFeatureExtractor(config, n_jobs=1).fit_transform(
+            publication_graph, list(range(publication_graph.num_nodes))
+        )
+        parallel = SubgraphFeatureExtractor(config, n_jobs=2).fit_transform(
+            publication_graph, list(range(publication_graph.num_nodes))
+        )
+        assert serial.space.keys == parallel.space.keys
+        assert np.array_equal(serial.matrix, parallel.matrix)
+
+    def test_masked_extraction_hides_root_label(self, publication_graph):
+        """With masking, two same-neighbourhood nodes of different labels
+        produce identical features."""
+        config = CensusConfig(max_edges=1, mask_start_label=True)
+        extractor = SubgraphFeatureExtractor(config)
+        g = publication_graph
+        # a1 and a2 have identical neighbourhoods (i1, p1).
+        features = extractor.fit_transform(g, [g.index("a1"), g.index("a2")])
+        assert np.array_equal(features.matrix[0], features.matrix[1])
+
+
+class TestFeatureSpaceUtilities:
+    def test_merged_preserves_existing_columns(self):
+        a = FeatureSpace(["x", "y"])
+        b = FeatureSpace(["y", "z"])
+        merged = a.merged(b)
+        assert merged.keys == ("x", "y", "z")
+        assert merged.index("x") == a.index("x")
+
+    def test_prune_drops_rare_codes(self):
+        from collections import Counter
+
+        space = FeatureSpace(["common", "rare"])
+        censuses = [Counter({"common": 1}), Counter({"common": 2, "rare": 1})]
+        pruned = space.prune(censuses, min_nodes=2)
+        assert pruned.keys == ("common",)
+
+    def test_prune_min_nodes_one_keeps_observed(self):
+        from collections import Counter
+
+        space = FeatureSpace(["a", "b", "never"])
+        censuses = [Counter({"a": 1}), Counter({"b": 1})]
+        pruned = space.prune(censuses, min_nodes=1)
+        assert set(pruned.keys) == {"a", "b"}
+
+    def test_prune_validation(self):
+        with pytest.raises(FeatureError):
+            FeatureSpace(["a"]).prune([], min_nodes=0)

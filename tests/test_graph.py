@@ -1,0 +1,204 @@
+"""Unit tests for the HeteroGraph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import HeteroGraph
+from repro.core.labels import LabelSet
+from repro.exceptions import GraphError
+
+
+class TestConstruction:
+    def test_basic_counts(self, publication_graph):
+        assert publication_graph.num_nodes == 7
+        assert publication_graph.num_edges == 8
+
+    def test_isolated_nodes_allowed(self):
+        g = HeteroGraph.from_edges({"a": "A", "b": "B"}, [])
+        assert g.num_nodes == 2
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            HeteroGraph.from_edges({"a": "A"}, [("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate edge"):
+            HeteroGraph.from_edges(
+                {"a": "A", "b": "B"}, [("a", "b"), ("b", "a")]
+            )
+
+    def test_unknown_node_in_edge_rejected(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            HeteroGraph.from_edges({"a": "A"}, [("a", "ghost")])
+
+    def test_explicit_labelset(self):
+        ls = LabelSet(("X", "Y", "Z"))
+        g = HeteroGraph.from_edges({"a": "Y"}, [], labelset=ls)
+        assert g.labelset is ls
+        assert g.label_of(0) == 1
+
+
+class TestAccessors:
+    def test_index_id_roundtrip(self, publication_graph):
+        for node_id in publication_graph.node_ids:
+            assert publication_graph.node_id(publication_graph.index(node_id)) == node_id
+
+    def test_unknown_id_raises(self, publication_graph):
+        with pytest.raises(GraphError):
+            publication_graph.index("ghost")
+
+    def test_node_id_out_of_range_raises(self, publication_graph):
+        with pytest.raises(GraphError):
+            publication_graph.node_id(99)
+
+    def test_label_name_of(self, publication_graph):
+        assert publication_graph.label_name_of("i1") == "I"
+        assert publication_graph.label_name_of("p2") == "P"
+
+    def test_degrees(self, publication_graph):
+        degrees = publication_graph.degrees()
+        p1 = publication_graph.index("p1")
+        assert degrees[p1] == 4
+        assert degrees.sum() == 2 * publication_graph.num_edges
+
+    def test_labels_readonly(self, publication_graph):
+        labels = publication_graph.labels
+        with pytest.raises(ValueError):
+            labels[0] = 2
+
+    def test_label_counts(self, publication_graph):
+        counts = publication_graph.label_counts()
+        ls = publication_graph.labelset
+        assert counts[ls.index("I")] == 2
+        assert counts[ls.index("A")] == 3
+        assert counts[ls.index("P")] == 2
+
+    def test_nodes_with_label(self, publication_graph):
+        ls = publication_graph.labelset
+        papers = publication_graph.nodes_with_label(ls.index("P"))
+        names = {publication_graph.node_id(int(i)) for i in papers}
+        assert names == {"p1", "p2"}
+
+
+class TestAdjacency:
+    def test_neighbors_sorted_by_label(self, publication_graph):
+        g = publication_graph
+        p1 = g.index("p1")
+        labels = [g.label_of(int(v)) for v in g.neighbors(p1)]
+        assert labels == sorted(labels)
+
+    def test_neighbors_with_label(self, publication_graph):
+        g = publication_graph
+        p1 = g.index("p1")
+        authors = g.neighbors_with_label(p1, g.labelset.index("A"))
+        assert {g.node_id(int(a)) for a in authors} == {"a1", "a2", "a3"}
+
+    def test_label_degree(self, publication_graph):
+        g = publication_graph
+        a3 = g.index("a3")
+        assert g.label_degree(a3, g.labelset.index("P")) == 2
+        assert g.label_degree(a3, g.labelset.index("I")) == 1
+        assert g.label_degree(a3, g.labelset.index("A")) == 0
+
+    def test_neighbor_label_runs_cover_all(self, publication_graph):
+        g = publication_graph
+        for v in range(g.num_nodes):
+            run_total = sum(len(run) for _, run in g.neighbor_label_runs(v))
+            assert run_total == g.degree(v)
+
+    def test_has_edge_symmetric(self, publication_graph):
+        g = publication_graph
+        for u, v in g.edges():
+            assert g.has_edge(u, v)
+            assert g.has_edge(v, u)
+
+    def test_has_edge_negative(self, publication_graph):
+        g = publication_graph
+        assert not g.has_edge(g.index("i1"), g.index("p1"))
+
+    def test_edges_each_once(self, publication_graph):
+        edges = list(publication_graph.edges())
+        assert len(edges) == publication_graph.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+
+class TestConversion:
+    def test_networkx_roundtrip(self, publication_graph):
+        import networkx as nx
+
+        nxg = publication_graph.to_networkx()
+        assert isinstance(nxg, nx.Graph)
+        back = HeteroGraph.from_networkx(nxg, labelset=publication_graph.labelset)
+        assert back.num_nodes == publication_graph.num_nodes
+        assert back.num_edges == publication_graph.num_edges
+        assert set(map(frozenset, nxg.edges())) == {
+            frozenset(
+                (publication_graph.node_id(u), publication_graph.node_id(v))
+            )
+            for u, v in publication_graph.edges()
+        }
+
+    def test_from_networkx_missing_label_raises(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node("a")
+        with pytest.raises(GraphError, match="missing"):
+            HeteroGraph.from_networkx(nxg)
+
+    def test_from_networkx_directed_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(GraphError, match="undirected"):
+            HeteroGraph.from_networkx(nx.DiGraph())
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, publication_graph):
+        g = publication_graph
+        keep = [g.index(n) for n in ("a1", "a2", "p1", "i1")]
+        sub = g.subgraph(keep)
+        assert sub.num_nodes == 4
+        # edges among kept nodes: i1-a1, i1-a2, a1-p1, a2-p1
+        assert sub.num_edges == 4
+        assert sub.labelset == g.labelset
+
+    def test_subgraph_out_of_range(self, publication_graph):
+        with pytest.raises(GraphError):
+            publication_graph.subgraph([99])
+
+    def test_subgraph_empty_edges(self, publication_graph):
+        g = publication_graph
+        sub = g.subgraph([g.index("i1"), g.index("p2")])
+        assert sub.num_edges == 0
+
+
+class TestComponents:
+    def test_single_component(self, publication_graph):
+        components = publication_graph.connected_components()
+        assert len(components) == 1
+        assert len(components[0]) == publication_graph.num_nodes
+
+    def test_multiple_components_sorted_by_size(self):
+        g = HeteroGraph.from_edges(
+            {"a": "A", "b": "B", "c": "A", "x": "B", "iso": "A"},
+            [("a", "b"), ("b", "c"), ("x", "a")],
+        )
+        components = g.connected_components()
+        sizes = [len(c) for c in components]
+        assert sizes == [4, 1]
+
+    def test_largest_component(self):
+        g = HeteroGraph.from_edges(
+            {"a": "A", "b": "B", "iso": "A"}, [("a", "b")]
+        )
+        largest = g.largest_component()
+        assert largest.num_nodes == 2
+        assert largest.num_edges == 1
+
+    def test_isolated_nodes_are_singletons(self):
+        g = HeteroGraph.from_edges({"a": "A", "b": "B"}, [])
+        assert len(g.connected_components()) == 2

@@ -1,0 +1,136 @@
+"""Unit tests for the rolling subgraph hash (Eq. 5)."""
+
+import pytest
+
+from repro.core.encoding import encode_subgraph
+from repro.core.hashing import DEFAULT_MODULUS, RollingSubgraphHash
+from repro.exceptions import EncodingError
+
+
+class TestConstruction:
+    def test_default_bases(self):
+        h = RollingSubgraphHash(3)
+        assert h.num_labels == 3
+        assert h.modulus == DEFAULT_MODULUS
+
+    def test_zero_labels_rejected(self):
+        with pytest.raises(EncodingError):
+            RollingSubgraphHash(0)
+
+    def test_wrong_base_count_rejected(self):
+        with pytest.raises(EncodingError):
+            RollingSubgraphHash(2, bases=(3,))
+
+    def test_duplicate_bases_rejected(self):
+        with pytest.raises(EncodingError):
+            RollingSubgraphHash(2, bases=(7, 7))
+
+    def test_many_labels_get_generated_bases(self):
+        h = RollingSubgraphHash(20)
+        assert h.num_labels == 20
+
+
+class TestWholeSequence:
+    def test_hash_is_order_invariant(self):
+        """Node order can't matter: the hash is a sum over nodes."""
+        h = RollingSubgraphHash(2)
+        code_a = encode_subgraph([0, 1, 0], [(0, 1), (1, 2)], 2)
+        code_b = encode_subgraph([1, 0, 0], [(1, 0), (0, 2)], 2)
+        assert h.hash_code(code_a) == h.hash_code(code_b)
+
+    def test_different_edge_multisets_different_hashes(self):
+        """Subgraphs with different edge label-pair multisets separate."""
+        h = RollingSubgraphHash(2)
+        mixed = encode_subgraph([0, 1, 1], [(0, 1), (0, 2)], 2)  # edges 01, 01
+        homo = encode_subgraph([0, 1, 0], [(0, 1), (0, 2)], 2)  # edges 01, 00
+        assert h.hash_code(mixed) != h.hash_code(homo)
+
+    def test_same_edge_multiset_collides_by_construction(self):
+        """Eq. 5 decomposes over edges: a star and a path over the same edge
+        label pairs share a hash value (the documented structural loss)."""
+        h = RollingSubgraphHash(2)
+        star = encode_subgraph([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)], 2)
+        path = encode_subgraph([0, 1, 0, 1], [(0, 1), (1, 2), (2, 3)], 2)
+        assert star != path
+        assert h.hash_code(star) == h.hash_code(path)
+
+    def test_node_contribution_zero_for_isolated(self):
+        h = RollingSubgraphHash(3)
+        assert h.node_contribution(1, (0, 0, 0)) == 0
+
+
+class TestIncremental:
+    def test_edge_delta_matches_from_scratch(self):
+        """Adding an edge incrementally equals rehashing the new subgraph."""
+        h = RollingSubgraphHash(3)
+        labels = [0, 1, 2, 1]
+        edges = [(0, 1), (1, 2)]
+        base = h.hash_edges(labels, edges)
+        extended = edges + [(2, 3)]
+        incremental = h.add_edge(base, labels[2], labels[3])
+        assert incremental == h.hash_edges(labels, extended)
+
+    def test_remove_edge_inverts_add(self):
+        h = RollingSubgraphHash(2)
+        value = 12345
+        added = h.add_edge(value, 0, 1)
+        assert h.remove_edge(added, 0, 1) == value
+
+    def test_edge_delta_symmetric(self):
+        h = RollingSubgraphHash(3)
+        assert h.edge_delta(0, 2) == h.edge_delta(2, 0)
+
+    def test_hash_edges_matches_hash_code(self):
+        """Per-edge and per-node formulations agree."""
+        h = RollingSubgraphHash(3)
+        labels = [0, 1, 2, 2]
+        edges = [(0, 1), (1, 2), (1, 3), (2, 3)]
+        code = encode_subgraph(labels, edges, 3)
+        assert h.hash_edges(labels, edges) == h.hash_code(code)
+
+    def test_incremental_chain(self):
+        """Build a subgraph edge by edge; hash stays consistent throughout."""
+        h = RollingSubgraphHash(2)
+        labels = [0, 1, 0, 1, 0]
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]
+        running = 0
+        for i, (u, v) in enumerate(edges, start=1):
+            running = h.add_edge(running, labels[u], labels[v])
+            assert running == h.hash_edges(labels, edges[:i])
+
+
+class TestCollisionRate:
+    def test_collisions_exactly_match_edge_multisets(self):
+        """On every labelled graph with <= 4 edges, two encodings share a
+        hash value iff they share the multiset of edge label pairs — the
+        exact characterisation of Eq. 5's information content."""
+        from collections import Counter
+
+        from repro.core.isomorphism import enumerate_connected_labelled_graphs
+
+        h = RollingSubgraphHash(2)
+        by_hash: dict[int, set] = {}
+        for graph in enumerate_connected_labelled_graphs(2, 4):
+            value = h.hash_edges(graph.labels, graph.edges)
+            multiset = frozenset(
+                Counter(
+                    tuple(sorted((graph.labels[u], graph.labels[v])))
+                    for u, v in graph.edges
+                ).items()
+            )
+            by_hash.setdefault(value, set()).add(multiset)
+        for multisets in by_hash.values():
+            assert len(multisets) == 1
+
+    def test_hash_never_splits_a_code(self):
+        """All members of one encoding class hash identically (the property
+        the census's hash key mode relies on)."""
+        from repro.core.isomorphism import enumerate_connected_labelled_graphs
+
+        h = RollingSubgraphHash(2)
+        by_code: dict[object, set[int]] = {}
+        for graph in enumerate_connected_labelled_graphs(2, 4):
+            code = graph.encode(2)
+            by_code.setdefault(code, set()).add(h.hash_code(code))
+        for hashes in by_code.values():
+            assert len(hashes) == 1

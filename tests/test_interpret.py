@@ -1,0 +1,94 @@
+"""Unit tests for code interpretation: describing, realising, ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import encode_subgraph
+from repro.core.features import FeatureSpace
+from repro.core.interpret import describe_code, rank_features, realize_code
+from repro.core.isomorphism import SmallGraph, are_isomorphic
+from repro.core.labels import LabelSet
+from repro.exceptions import EncodingError
+
+
+class TestDescribeCode:
+    def test_mentions_counts_and_labels(self):
+        ls = LabelSet(("A", "P"))
+        code = encode_subgraph([0, 0, 1], [(0, 2), (1, 2)], 2)
+        text = describe_code(code, ls)
+        assert "3 nodes, 2 edges" in text
+        assert "P(A:2)" in text
+
+    def test_isolated_node(self):
+        ls = LabelSet(("A",))
+        code = encode_subgraph([0], [], 1)
+        assert "1 nodes, 0 edges" in describe_code(code, ls)
+
+
+class TestRealizeCode:
+    @pytest.mark.parametrize(
+        "labels,edges,k",
+        [
+            ([0, 1], [(0, 1)], 2),
+            ([0, 1, 0], [(0, 1), (1, 2)], 2),
+            ([0, 1, 1, 1], [(0, 1), (0, 2), (0, 3)], 2),
+            ([0, 1, 2], [(0, 1), (1, 2), (0, 2)], 3),
+            ([0, 0, 1, 1], [(0, 2), (2, 1), (1, 3), (3, 0)], 2),
+        ],
+    )
+    def test_realisation_has_matching_code(self, labels, edges, k):
+        code = encode_subgraph(labels, edges, k)
+        graph = realize_code(code)
+        assert graph is not None
+        assert graph.encode(k) == code
+
+    def test_realisation_isomorphic_for_small_codes(self):
+        """Below the collision bound, realisation recovers the exact class."""
+        original = SmallGraph((0, 1, 0), [(0, 1), (1, 2)])
+        code = original.encode(2)
+        realised = realize_code(code)
+        assert are_isomorphic(original, realised)
+
+    def test_unrealisable_code_returns_none(self):
+        # One node demanding a neighbour, nothing to attach to.
+        assert realize_code(((0, 1, 0),)) is None
+
+
+class TestRankFeatures:
+    def _space_with_codes(self):
+        ls = LabelSet(("A", "B"))
+        codes = [
+            encode_subgraph([0, 1], [(0, 1)], 2),
+            encode_subgraph([0, 1, 1], [(0, 1), (0, 2)], 2),
+            encode_subgraph([0, 0], [(0, 1)], 2),
+        ]
+        return ls, FeatureSpace(codes)
+
+    def test_orders_by_importance(self):
+        ls, space = self._space_with_codes()
+        ranking = rank_features([0.1, 0.7, 0.2], space, ls, top=3)
+        assert [r.column for r in ranking] == [1, 2, 0]
+        assert ranking[0].rank == 1
+        assert ranking[0].importance == pytest.approx(0.7)
+
+    def test_top_limits_output(self):
+        ls, space = self._space_with_codes()
+        assert len(rank_features([0.1, 0.7, 0.2], space, ls, top=1)) == 1
+
+    def test_misaligned_importances_raise(self):
+        ls, space = self._space_with_codes()
+        with pytest.raises(EncodingError, match="importances"):
+            rank_features([0.1], space, ls)
+
+    def test_non_code_keys_raise(self):
+        ls = LabelSet(("A", "B"))
+        space = FeatureSpace(["a-string-key"])
+        with pytest.raises(EncodingError, match="canonical"):
+            rank_features([1.0], space, ls)
+
+    def test_render_contains_description(self):
+        ls, space = self._space_with_codes()
+        ranking = rank_features([0.5, 0.3, 0.2], space, ls, top=1)
+        text = ranking[0].render(ls)
+        assert "#1" in text
+        assert "importance" in text

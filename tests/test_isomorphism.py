@@ -1,0 +1,128 @@
+"""Unit tests for exact isomorphism and small-graph enumeration."""
+
+import pytest
+
+from repro.core.isomorphism import (
+    SmallGraph,
+    are_isomorphic,
+    enumerate_connected_labelled_graphs,
+)
+from repro.exceptions import GraphError
+
+
+class TestSmallGraph:
+    def test_normalises_edges(self):
+        g = SmallGraph((0, 1), [(1, 0)])
+        assert g.edges == ((0, 1),)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            SmallGraph((0,), [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            SmallGraph((0, 1), [(0, 1), (1, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError):
+            SmallGraph((0,), [(0, 1)])
+
+    def test_connectivity(self):
+        assert SmallGraph((0, 1), [(0, 1)]).is_connected()
+        assert not SmallGraph((0, 1, 0), [(0, 1)]).is_connected()
+        assert not SmallGraph((), []).is_connected()
+
+
+class TestAreIsomorphic:
+    def test_identical(self):
+        g = SmallGraph((0, 1, 0), [(0, 1), (1, 2)])
+        assert are_isomorphic(g, g)
+
+    def test_relabelled_nodes(self):
+        a = SmallGraph((0, 1, 0), [(0, 1), (1, 2)])
+        b = SmallGraph((0, 0, 1), [(0, 2), (2, 1)])
+        assert are_isomorphic(a, b)
+
+    def test_different_labels_not_isomorphic(self):
+        a = SmallGraph((0, 1), [(0, 1)])
+        b = SmallGraph((0, 0), [(0, 1)])
+        assert not are_isomorphic(a, b)
+
+    def test_different_topology_not_isomorphic(self):
+        star = SmallGraph((0, 0, 0, 0), [(0, 1), (0, 2), (0, 3)])
+        path = SmallGraph((0, 0, 0, 0), [(0, 1), (1, 2), (2, 3)])
+        assert not are_isomorphic(star, path)
+
+    def test_triangle_vs_path_same_degrees_different(self):
+        """C6 vs two triangles would collide on degrees alone; here use a
+        smaller classic: the 4-cycle vs the path has different edge counts,
+        so use bull-like graphs with equal signatures instead."""
+        # Two 1-labelled graphs with identical degree sequences (2,2,2,2,2,2):
+        # the 6-cycle and two disjoint triangles - but we need connected
+        # graphs, so compare C6 with the prism minus edges... simplest:
+        # kite vs cricket have distinct signatures, so just assert the
+        # signature check is not the only barrier via C4-with-chord pair.
+        a = SmallGraph((0,) * 6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+        b = SmallGraph((0,) * 6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)])
+        assert not are_isomorphic(a, b)
+
+    def test_labelled_cycle_rotations(self):
+        a = SmallGraph((0, 1, 0, 1), [(0, 1), (1, 2), (2, 3), (3, 0)])
+        b = SmallGraph((1, 0, 1, 0), [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert are_isomorphic(a, b)
+
+    def test_size_mismatch(self):
+        assert not are_isomorphic(
+            SmallGraph((0,), []), SmallGraph((0, 0), [(0, 1)])
+        )
+
+
+class TestEnumeration:
+    def test_single_edge_classes_one_label(self):
+        graphs = list(enumerate_connected_labelled_graphs(1, 1))
+        assert len(graphs) == 1
+
+    def test_single_edge_classes_two_labels(self):
+        # label pairs: (0,0), (0,1), (1,1) -> 3 classes
+        graphs = [
+            g for g in enumerate_connected_labelled_graphs(2, 1)
+        ]
+        assert len(graphs) == 3
+
+    def test_no_same_label_edges_filter(self):
+        graphs = list(
+            enumerate_connected_labelled_graphs(2, 2, allow_same_label_edges=False)
+        )
+        for graph in graphs:
+            for u, v in graph.edges:
+                assert graph.labels[u] != graph.labels[v]
+
+    def test_all_connected(self):
+        for graph in enumerate_connected_labelled_graphs(2, 3):
+            assert graph.is_connected()
+
+    def test_pairwise_non_isomorphic(self):
+        graphs = list(enumerate_connected_labelled_graphs(2, 3))
+        for i, a in enumerate(graphs):
+            for b in graphs[i + 1:]:
+                assert not are_isomorphic(a, b)
+
+    def test_one_label_counts_match_oeis(self):
+        """Connected unlabelled graphs by edge count: 1, 3, 5, 12 classes
+        with exactly 1..4 edges (A275421 column sums / known small values)."""
+        graphs = list(enumerate_connected_labelled_graphs(1, 4))
+        by_edges = {}
+        for g in graphs:
+            by_edges.setdefault(g.num_edges, []).append(g)
+        assert len(by_edges[1]) == 1  # single edge
+        assert len(by_edges[2]) == 1  # path of length 2
+        assert len(by_edges[3]) == 3  # triangle, star, path
+        assert len(by_edges[4]) == 5  # paw, C4, star, chair/fork, path
+
+    def test_max_nodes_cap(self):
+        graphs = list(enumerate_connected_labelled_graphs(1, 4, max_nodes=3))
+        assert all(g.num_nodes <= 3 for g in graphs)
+
+    def test_respects_max_edges(self):
+        graphs = list(enumerate_connected_labelled_graphs(2, 2))
+        assert all(g.num_edges <= 2 for g in graphs)

@@ -1,0 +1,111 @@
+"""Tests for estimator plumbing and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ReproError
+from repro.ml.base import BaseEstimator, check_array, check_X_y
+
+
+class TestCheckArray:
+    def test_promotes_1d_to_column(self):
+        X = check_array([1.0, 2.0, 3.0])
+        assert X.shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array(np.ones((2, 2, 2)))
+
+    def test_rejects_empty_features(self):
+        with pytest.raises(ValueError, match="no features"):
+            check_array(np.ones((3, 0)))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 5"):
+            check_array(np.ones((3, 2)), min_samples=5)
+
+    def test_rejects_nan_and_inf(self):
+        X = np.ones((3, 2))
+        X[0, 0] = np.inf
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_array(X)
+
+    def test_casts_to_float(self):
+        X = check_array(np.array([[1, 2], [3, 4]], dtype=np.int64))
+        assert X.dtype == np.float64
+
+
+class TestCheckXY:
+    def test_regression_casts_y(self):
+        X, y = check_X_y([[1.0], [2.0]], [1, 2])
+        assert y.dtype == np.float64
+
+    def test_classification_keeps_labels(self):
+        X, y = check_X_y([[1.0], [2.0]], ["a", "b"], classification=True)
+        assert y.dtype.kind == "U"
+
+    def test_rejects_2d_y(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_X_y(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="samples"):
+            check_X_y(np.ones((3, 2)), np.ones(2))
+
+    def test_rejects_nan_target(self):
+        with pytest.raises(ValueError, match="NaN"):
+            check_X_y(np.ones((2, 1)), [1.0, np.nan])
+
+
+class TestBaseEstimator:
+    def test_check_fitted_raises_before_fit(self):
+        class Model(BaseEstimator):
+            pass
+
+        with pytest.raises(NotFittedError, match="Model"):
+            Model()._check_fitted()
+
+    def test_get_params_skips_private_and_fitted(self):
+        class Model(BaseEstimator):
+            def __init__(self):
+                self.alpha = 1.0
+                self.coef_ = np.ones(2)
+                self._secret = "x"
+
+        params = Model().get_params()
+        assert params == {"alpha": 1.0}
+
+    def test_repr_lists_params(self):
+        class Model(BaseEstimator):
+            def __init__(self):
+                self.alpha = 2.5
+
+        assert repr(Model()) == "Model(alpha=2.5)"
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro.exceptions import (
+            CensusError,
+            EncodingError,
+            FeatureError,
+            GraphError,
+            LabelError,
+            NotFittedError,
+        )
+
+        for exc in (
+            CensusError,
+            EncodingError,
+            FeatureError,
+            GraphError,
+            LabelError,
+            NotFittedError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_one_except_catches_everything(self):
+        from repro.core import HeteroGraph
+
+        with pytest.raises(ReproError):
+            HeteroGraph.from_edges({"a": "A"}, [("a", "a")])

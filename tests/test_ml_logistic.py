@@ -1,0 +1,124 @@
+"""Unit tests for logistic regression and the one-vs-rest wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import (
+    LogisticRegression,
+    OneVsRestLogisticRegression,
+    tune_regularization,
+    _sigmoid,
+)
+
+
+def _two_blobs(n=100, gap=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, 2)), rng.normal(gap, 1, (n, 2))])
+    y = np.array([0] * n + [1] * n)
+    return X, y
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert _sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_stable(self):
+        values = _sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_symmetry(self):
+        z = np.linspace(-5, 5, 11)
+        assert np.allclose(_sigmoid(z) + _sigmoid(-z), 1.0)
+
+
+class TestBinary:
+    def test_separates_blobs(self):
+        X, y = _two_blobs()
+        model = LogisticRegression(C=1.0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_probabilities_valid(self):
+        X, y = _two_blobs()
+        model = LogisticRegression().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all((probabilities >= 0) & (probabilities <= 1))
+
+    def test_stronger_regularisation_shrinks_weights(self):
+        X, y = _two_blobs()
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.01).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_string_classes(self):
+        X, y = _two_blobs()
+        labels = np.where(y == 1, "pos", "neg")
+        model = LogisticRegression().fit(X, labels)
+        assert set(model.predict(X)) <= {"pos", "neg"}
+
+    def test_multiclass_input_rejected(self):
+        X = np.ones((6, 2))
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(X, [0, 1, 2, 0, 1, 2])
+
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0.0)
+
+    def test_decision_function_sign_matches_prediction(self):
+        X, y = _two_blobs()
+        model = LogisticRegression().fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(model.predict(X) == model.classes_[1], scores >= 0)
+
+
+class TestOneVsRest:
+    def _three_blobs(self, seed=0):
+        rng = np.random.default_rng(seed)
+        X = np.vstack([rng.normal(loc, 1, (70, 3)) for loc in (0, 3, 6)])
+        y = np.repeat(["x", "y", "z"], 70)
+        return X, y
+
+    def test_separates_three_classes(self):
+        X, y = self._three_blobs()
+        model = OneVsRestLogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_one_estimator_per_class(self):
+        X, y = self._three_blobs()
+        model = OneVsRestLogisticRegression().fit(X, y)
+        assert len(model.estimators_) == 3
+
+    def test_proba_normalised(self):
+        X, y = self._three_blobs()
+        model = OneVsRestLogisticRegression().fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predicts_highest_score_label(self):
+        """The Section 4.3.3 rule: pick the label with the top OvR score."""
+        X, y = self._three_blobs()
+        model = OneVsRestLogisticRegression().fit(X, y)
+        scores = np.column_stack(
+            [est.predict_proba(X)[:, 1] for est in model.estimators_]
+        )
+        assert np.array_equal(
+            model.predict(X), model.classes_[np.argmax(scores, axis=1)]
+        )
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            OneVsRestLogisticRegression().fit(np.ones((4, 2)), ["a"] * 4)
+
+
+class TestTuning:
+    def test_returns_fitted_model(self):
+        X, y = _two_blobs(n=60)
+        model = tune_regularization(X, y, grid=(0.1, 1.0), rng=0)
+        assert model.score(X, y) > 0.9
+
+    def test_picks_from_grid(self):
+        X, y = _two_blobs(n=60)
+        model = tune_regularization(X, y, grid=(0.5,), rng=0)
+        assert model.C == 0.5

@@ -1,0 +1,117 @@
+"""Unit tests for univariate feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.selection import SelectKBest, f_classif_scores, f_regression_scores
+
+
+def _regression_data(seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(200, 6))
+    y = 3.0 * X[:, 1] - 2.0 * X[:, 4] + 0.1 * rng.normal(size=200)
+    return X, y
+
+
+class TestFRegression:
+    def test_signal_columns_score_highest(self):
+        X, y = _regression_data()
+        scores = f_regression_scores(X, y)
+        top_two = set(np.argsort(scores)[-2:])
+        assert top_two == {1, 4}
+
+    def test_constant_feature_scores_zero(self):
+        X, y = _regression_data()
+        X = np.column_stack([X, np.ones(X.shape[0])])
+        scores = f_regression_scores(X, y)
+        assert scores[-1] == 0.0
+
+    def test_perfectly_collinear_feature_finite(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=50)
+        X = np.column_stack([y, rng.normal(size=50)])
+        scores = f_regression_scores(X, y)
+        assert np.all(np.isfinite(scores))
+        assert scores[0] > scores[1]
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            f_regression_scores(np.ones((2, 2)), np.ones(2))
+
+    def test_scores_nonnegative(self):
+        X, y = _regression_data()
+        assert np.all(f_regression_scores(X, y) >= 0)
+
+
+class TestFClassif:
+    def test_separating_feature_scores_highest(self):
+        rng = np.random.default_rng(0)
+        n = 100
+        X = rng.normal(size=(2 * n, 3))
+        X[:n, 0] += 5.0  # feature 0 separates the classes
+        y = np.array([0] * n + [1] * n)
+        scores = f_classif_scores(X, y)
+        assert np.argmax(scores) == 0
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            f_classif_scores(np.ones((5, 2)), np.zeros(5))
+
+    def test_three_classes(self):
+        rng = np.random.default_rng(1)
+        X = np.vstack([rng.normal(c, 1, (30, 2)) for c in (0, 2, 4)])
+        y = np.repeat([0, 1, 2], 30)
+        scores = f_classif_scores(X, y)
+        assert scores.shape == (2,)
+        assert np.all(scores > 0)
+
+    def test_mismatched_y(self):
+        with pytest.raises(ValueError):
+            f_classif_scores(np.ones((5, 2)), np.zeros(4))
+
+
+class TestSelectKBest:
+    def test_selects_signal_columns(self):
+        X, y = _regression_data()
+        selector = SelectKBest(k=2).fit(X, y)
+        assert set(selector.selected_) == {1, 4}
+
+    def test_transform_keeps_column_order(self):
+        X, y = _regression_data()
+        selector = SelectKBest(k=2).fit(X, y)
+        transformed = selector.transform(X)
+        assert np.array_equal(transformed, X[:, sorted(selector.selected_)])
+
+    def test_k_clamped_to_available(self):
+        X, y = _regression_data()
+        selector = SelectKBest(k=100).fit(X, y)
+        assert selector.transform(X).shape[1] == X.shape[1]
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            SelectKBest(k=0)
+
+    def test_transform_before_fit(self):
+        from repro.exceptions import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            SelectKBest(k=1).transform(np.ones((2, 2)))
+
+    def test_transform_feature_mismatch(self):
+        X, y = _regression_data()
+        selector = SelectKBest(k=2).fit(X, y)
+        with pytest.raises(ValueError):
+            selector.transform(np.ones((5, 3)))
+
+    def test_classification_score_func(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(60, 4))
+        y = (X[:, 3] > 0).astype(int)
+        selector = SelectKBest(k=1, score_func=f_classif_scores).fit(X, y)
+        assert selector.selected_.tolist() == [3]
+
+    def test_deterministic_tie_breaking(self):
+        X = np.zeros((10, 3))
+        y = np.arange(10.0)
+        selector = SelectKBest(k=2).fit(X, y)
+        assert selector.selected_.tolist() == [0, 1]

@@ -1,0 +1,121 @@
+"""Tests for the omitted-baseline models: linear SVMs and SGD."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.ml.sgd import SGDClassifier, SGDRegressor
+from repro.ml.svm import LinearSVC, LinearSVR
+
+
+def _linear_data(n=300, p=4, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    w = rng.normal(size=p)
+    y = X @ w + 1.5 + noise * rng.normal(size=n)
+    return X, y, w
+
+
+def _blobs(n=120, gap=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, 3)), rng.normal(gap, 1, (n, 3))])
+    y = np.array(["neg"] * n + ["pos"] * n)
+    return X, y
+
+
+class TestLinearSVR:
+    def test_fits_linear_signal(self):
+        X, y, _ = _linear_data()
+        model = LinearSVR(C=10.0, epsilon=0.01).fit(X[:200], y[:200])
+        assert model.score(X[200:], y[200:]) > 0.95
+
+    def test_epsilon_tube_ignores_small_residuals(self):
+        """With a huge epsilon the loss is flat: weights stay near zero."""
+        X, y, _ = _linear_data()
+        model = LinearSVR(C=1.0, epsilon=100.0).fit(X, y)
+        assert np.linalg.norm(model.coef_) < 0.1
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVR(C=0.0)
+        with pytest.raises(ValueError):
+            LinearSVR(epsilon=-1.0)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinearSVR().predict(np.ones((2, 2)))
+
+    def test_feature_mismatch(self):
+        X, y, _ = _linear_data()
+        model = LinearSVR().fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 9)))
+
+
+class TestLinearSVC:
+    def test_separates_blobs(self):
+        X, y = _blobs()
+        model = LinearSVC(C=1.0).fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_decision_sign_matches_prediction(self):
+        X, y = _blobs()
+        model = LinearSVC().fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(model.predict(X) == "pos", scores >= 0)
+
+    def test_regularisation_shrinks(self):
+        X, y = _blobs()
+        loose = LinearSVC(C=100.0).fit(X, y)
+        tight = LinearSVC(C=0.001).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_multiclass_rejected(self):
+        with pytest.raises(ValueError):
+            LinearSVC().fit(np.ones((6, 2)), [0, 1, 2, 0, 1, 2])
+
+
+class TestSGDRegressor:
+    def test_converges_on_linear_signal(self):
+        X, y, _ = _linear_data()
+        model = SGDRegressor(max_iter=100, learning_rate=0.05, random_state=0)
+        model.fit(X[:200], y[:200])
+        assert model.score(X[200:], y[200:]) > 0.9
+
+    def test_deterministic_with_seed(self):
+        X, y, _ = _linear_data(n=100)
+        a = SGDRegressor(random_state=3).fit(X, y)
+        b = SGDRegressor(random_state=3).fit(X, y)
+        assert np.array_equal(a.coef_, b.coef_)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SGDRegressor(alpha=-1.0)
+        with pytest.raises(ValueError):
+            SGDRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGDRegressor(max_iter=0)
+
+    def test_strong_penalty_shrinks(self):
+        X, y, _ = _linear_data()
+        weak = SGDRegressor(alpha=0.0, random_state=0).fit(X, y)
+        strong = SGDRegressor(alpha=10.0, random_state=0).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+
+class TestSGDClassifier:
+    def test_separates_blobs(self):
+        X, y = _blobs()
+        model = SGDClassifier(max_iter=100, learning_rate=0.1, random_state=0)
+        model.fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_valid(self):
+        X, y = _blobs()
+        model = SGDClassifier(random_state=0).fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_multiclass_rejected(self):
+        with pytest.raises(ValueError):
+            SGDClassifier().fit(np.ones((4, 2)), [0, 1, 2, 0])

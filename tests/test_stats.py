@@ -1,0 +1,105 @@
+"""Tests for topology statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import HeteroGraph
+from repro.core.stats import (
+    degree_summary,
+    hub_fraction,
+    label_assortativity,
+    mixing_matrix,
+    summarize,
+)
+from repro.datasets import complete_bipartite, star
+from repro.exceptions import GraphError
+
+
+@pytest.fixture
+def regular_graph():
+    """4-cycle: every node degree 2."""
+    return HeteroGraph.from_edges(
+        {"a": "X", "b": "X", "c": "X", "d": "X"},
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+    )
+
+
+class TestDegreeSummary:
+    def test_regular_graph_zero_gini(self, regular_graph):
+        summary = degree_summary(regular_graph)
+        assert summary.mean == 2.0
+        assert summary.gini == pytest.approx(0.0, abs=1e-12)
+        assert summary.maximum == 2
+
+    def test_star_is_skewed(self):
+        graph = star("M", ["A"] * 20)
+        summary = degree_summary(graph)
+        assert summary.maximum == 20
+        assert summary.median == 1.0
+        assert summary.gini > 0.4
+
+    def test_empty_degrees(self):
+        graph = HeteroGraph.from_edges({"a": "A", "b": "B"}, [])
+        summary = degree_summary(graph)
+        assert summary.mean == 0.0
+        assert summary.gini == 0.0
+
+    def test_render(self, regular_graph):
+        assert "gini" in degree_summary(regular_graph).render()
+
+
+class TestMixingMatrix:
+    def test_rows_sum_to_one(self, publication_graph):
+        mix = mixing_matrix(publication_graph)
+        assert np.allclose(mix.sum(axis=1), 1.0)
+
+    def test_bipartite_mixing(self):
+        graph = complete_bipartite("A", 3, "B", 4)
+        mix = mixing_matrix(graph)
+        a = graph.labelset.index("A")
+        b = graph.labelset.index("B")
+        assert mix[a, b] == 1.0
+        assert mix[a, a] == 0.0
+
+    def test_unnormalized_counts_endpoints(self, publication_graph):
+        counts = mixing_matrix(publication_graph, normalize=False)
+        assert counts.sum() == 2 * publication_graph.num_edges
+
+
+class TestAssortativity:
+    def test_single_label_is_one(self, regular_graph):
+        assert label_assortativity(regular_graph) == 1.0
+
+    def test_bipartite_is_disassortative(self):
+        graph = complete_bipartite("A", 4, "B", 4)
+        assert label_assortativity(graph) < -0.9
+
+    def test_needs_edges(self):
+        graph = HeteroGraph.from_edges({"a": "A"}, [])
+        with pytest.raises(GraphError):
+            label_assortativity(graph)
+
+    def test_mixed_graph_in_range(self, publication_graph):
+        value = label_assortativity(publication_graph)
+        assert -1.0 <= value <= 1.0
+
+
+class TestHubFraction:
+    def test_star_concentrates_edges(self):
+        graph = star("M", ["A"] * 50)
+        assert hub_fraction(graph, percentile=90) >= 0.45
+
+    def test_regular_graph_no_hubs(self, regular_graph):
+        assert hub_fraction(regular_graph, percentile=90) == 0.0
+
+    def test_empty_graph(self):
+        graph = HeteroGraph.from_edges({"a": "A"}, [])
+        assert hub_fraction(graph) == 0.0
+
+
+class TestSummarize:
+    def test_contains_all_sections(self, publication_graph):
+        text = summarize(publication_graph)
+        assert "HeteroGraph" in text
+        assert "assortativity" in text
+        assert "mixing matrix" in text
