@@ -19,13 +19,13 @@ import sys
 from pathlib import Path
 
 from repro.core import (
+    CensusCache,
     CensusConfig,
     SubgraphFeatureExtractor,
     code_to_string,
     describe_code,
     find_collisions,
     label_connectivity,
-    subgraph_census,
 )
 from repro.core.census import effective_labelset
 from repro.io import read_edgelist, read_graph_json, write_features_json
@@ -46,6 +46,24 @@ def _census_config(args) -> CensusConfig:
         max_degree=args.dmax,
         mask_start_label=args.mask,
     )
+
+
+def _extractor(args, config: CensusConfig) -> SubgraphFeatureExtractor:
+    """Build the extractor shared by the census/features commands,
+    honouring ``--n-jobs`` and the opt-in ``--census-cache`` file."""
+    cache = CensusCache(args.census_cache) if args.census_cache else None
+    return SubgraphFeatureExtractor(config, n_jobs=args.n_jobs, cache=cache)
+
+
+def _save_cache(extractor: SubgraphFeatureExtractor) -> None:
+    cache = extractor.cache
+    if cache is not None and cache.path is not None:
+        cache.save()
+        print(
+            f"# census cache: {len(cache)} entries "
+            f"({cache.hits} hits, {cache.misses} misses) -> {cache.path}",
+            file=sys.stderr,
+        )
 
 
 def cmd_info(args) -> int:
@@ -71,7 +89,9 @@ def cmd_connectivity(args) -> int:
 def cmd_census(args) -> int:
     graph = _load_graph(args.graph)
     config = _census_config(args)
-    counts = subgraph_census(graph, graph.index(args.root), config)
+    extractor = _extractor(args, config)
+    counts = extractor.census_many(graph, [graph.index(args.root)])[0]
+    _save_cache(extractor)
     labelset = effective_labelset(graph, config)
     for code, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
         line = f"{count}\t{code_to_string(code, labelset)}"
@@ -93,8 +113,9 @@ def cmd_features(args) -> int:
     if not names:
         raise SystemExit("error: --nodes must list at least one node id")
     nodes = [graph.index(name) for name in names]
-    extractor = SubgraphFeatureExtractor(config, n_jobs=args.jobs)
+    extractor = _extractor(args, config)
     features = extractor.fit_transform(graph, nodes)
+    _save_cache(extractor)
     write_features_json(features, effective_labelset(graph, config), args.out)
     print(
         f"wrote {features.matrix.shape[0]} x {features.matrix.shape[1]} "
@@ -137,6 +158,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--emax", type=int, default=4, help="max subgraph edges")
         p.add_argument("--dmax", type=int, default=None, help="hub degree cut-off")
         p.add_argument("--mask", action="store_true", help="mask the start label")
+        p.add_argument(
+            "--n-jobs",
+            "--jobs",
+            dest="n_jobs",
+            type=int,
+            default=1,
+            help="worker processes for the census",
+        )
+        p.add_argument(
+            "--census-cache",
+            default=None,
+            metavar="PATH",
+            help="pickle file memoising per-root censuses across runs",
+        )
 
     p_census = sub.add_parser("census", help="rooted census around one node")
     census_args(p_census)
@@ -150,7 +185,6 @@ def build_parser() -> argparse.ArgumentParser:
     census_args(p_feat)
     p_feat.add_argument("--nodes", required=True, help="comma-separated node ids")
     p_feat.add_argument("--out", required=True, help="output JSON path")
-    p_feat.add_argument("--jobs", type=int, default=1, help="worker processes")
     p_feat.set_defaults(func=cmd_features)
 
     p_coll = sub.add_parser("collisions", help="enumerate encoding collisions")

@@ -1,6 +1,7 @@
 """Core of the reproduction: heterogeneous graphs, the characteristic-
 sequence encoding, the rooted subgraph census, and feature extraction."""
 
+from repro.core.cache import CensusCache, census_cache_key
 from repro.core.census import CensusConfig, CensusStats, census_total, subgraph_census
 from repro.core.collisions import CollisionReport, find_collisions
 from repro.core.connectivity import LabelConnectivity, label_connectivity
@@ -19,7 +20,7 @@ from repro.core.features import (
     SubgraphFeatureExtractor,
     SubgraphFeatures,
 )
-from repro.core.graph import HeteroGraph
+from repro.core.graph import FlatAdjacency, HeteroGraph
 from repro.core.hashing import RollingSubgraphHash
 from repro.core.interpret import RankedFeature, describe_code, rank_features, realize_code
 from repro.core.isomorphism import (
@@ -45,10 +46,12 @@ __all__ = [
     "mixing_matrix",
     "summarize",
     "CanonicalCode",
+    "CensusCache",
     "CensusConfig",
     "CensusStats",
     "CollisionReport",
     "FeatureSpace",
+    "FlatAdjacency",
     "HeteroGraph",
     "LabelConnectivity",
     "LabelSet",
@@ -60,6 +63,7 @@ __all__ = [
     "SubgraphFeatures",
     "are_isomorphic",
     "canonical_code",
+    "census_cache_key",
     "census_total",
     "code_num_edges",
     "code_num_nodes",

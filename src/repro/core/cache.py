@@ -1,0 +1,138 @@
+"""Opt-in per-root census cache.
+
+Rank and label experiments repeatedly census the same roots under the
+same :class:`~repro.core.census.CensusConfig` — ablation grids, repeated
+train/test splits, and the CLI all re-touch overlapping node sets.  The
+census is deterministic given ``(graph, config, root)``, so its results
+can be memoised across calls and even across processes.
+
+Entries are keyed by a content *fingerprint* of the graph (see
+:meth:`repro.core.graph.HeteroGraph.fingerprint`) plus the frozen census
+config and the root index, so a cache file can be shared between runs
+and never serves stale counts after the graph or parameters change —
+a different graph or config simply misses.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import Counter
+from pathlib import Path
+
+from repro.core.census import CensusConfig
+from repro.core.graph import HeteroGraph
+
+#: Bumped whenever the on-disk layout changes; mismatching files are
+#: ignored rather than risking unpickling into the wrong shape.
+_FORMAT_VERSION = 1
+
+CacheKey = tuple[str, tuple, int]
+
+
+def census_cache_key(
+    graph: HeteroGraph, config: CensusConfig, root: int
+) -> CacheKey:
+    """The memoisation key for one rooted census.
+
+    The config is flattened to a plain tuple (not the dataclass) so keys
+    stay comparable across library versions that add config fields with
+    defaults — and so a pickled cache does not depend on the
+    ``CensusConfig`` class itself.
+    """
+    config_key = (
+        config.max_edges,
+        config.max_degree,
+        config.mask_start_label,
+        config.key,
+        config.group_by_label,
+        config.include_trivial,
+        config.max_subgraphs,
+    )
+    return (graph.fingerprint(), config_key, int(root))
+
+
+class CensusCache:
+    """In-memory census memo with optional pickle persistence.
+
+    Parameters
+    ----------
+    path:
+        Optional file backing the cache.  When given, existing entries
+        are loaded eagerly (a missing or unreadable file starts empty)
+        and :meth:`save` writes the current contents back.
+
+    The cache stores defensive copies on both :meth:`get` and
+    :meth:`put` so callers mutating a returned ``Counter`` cannot
+    corrupt later hits.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: dict[CacheKey, Counter] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._load(self.path)
+
+    # -- persistence ------------------------------------------------------
+    def _load(self, path: Path) -> None:
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _FORMAT_VERSION
+            and isinstance(payload.get("entries"), dict)
+        ):
+            self._entries.update(payload["entries"])
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the cache to ``path`` (defaults to the constructor path)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("CensusCache has no path; pass one to save()")
+        payload = {"version": _FORMAT_VERSION, "entries": self._entries}
+        with open(target, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return target
+
+    # -- memoisation ------------------------------------------------------
+    def get(
+        self, graph: HeteroGraph, config: CensusConfig, root: int
+    ) -> Counter | None:
+        """The cached census for ``root``, or ``None`` on a miss."""
+        entry = self._entries.get(census_cache_key(graph, config, root))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return Counter(entry)
+
+    def put(
+        self,
+        graph: HeteroGraph,
+        config: CensusConfig,
+        root: int,
+        census: Counter,
+    ) -> None:
+        """Store the census for ``root`` (overwrites any existing entry)."""
+        self._entries[census_cache_key(graph, config, root)] = Counter(census)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CensusCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -20,6 +20,8 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -28,6 +30,45 @@ from repro.core.labels import LabelSet
 from repro.exceptions import GraphError
 
 NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class FlatAdjacency:
+    """Plain-Python-int snapshot of a graph for the census hot path.
+
+    The census inner loop cannot afford numpy scalar extraction (every
+    ``arr[i]`` materialises an ``np.int64`` that then needs ``int()``), nor
+    per-edge tuple construction for set membership tests.  This snapshot
+    flattens the adjacency into CSR-style Python lists and assigns every
+    undirected edge a dense integer id, so the census can use bytearray
+    flags indexed by edge id instead of hashing ``(u, v)`` tuples.
+
+    Attributes
+    ----------
+    labels:
+        Integer label per node (plain ints).
+    degrees:
+        Degree per node (plain ints).
+    indptr:
+        CSR offsets; neighbours of ``v`` live at positions
+        ``indptr[v]:indptr[v + 1]`` of ``neighbors`` / ``edge_ids``.
+    neighbors:
+        Flat neighbour list, per node sorted by (label, index) exactly like
+        :meth:`HeteroGraph.neighbors`.
+    edge_ids:
+        Dense undirected-edge id aligned with ``neighbors``; both
+        orientations of an edge share one id in ``0..num_edges - 1``.
+    edge_u / edge_v:
+        Endpoints of each edge id, with ``edge_u[e] < edge_v[e]``.
+    """
+
+    labels: list
+    degrees: list
+    indptr: list
+    neighbors: list
+    edge_ids: list
+    edge_u: list
+    edge_v: list
 
 
 class HeteroGraph:
@@ -45,6 +86,8 @@ class HeteroGraph:
         "_adjacency",
         "_label_starts",
         "_num_edges",
+        "_flat",
+        "_fingerprint",
     )
 
     def __init__(
@@ -63,6 +106,24 @@ class HeteroGraph:
         self._adjacency = adjacency
         self._label_starts = label_starts
         self._num_edges = num_edges
+        self._flat = None
+        self._fingerprint = None
+
+    def __getstate__(self):
+        # The flat snapshot and fingerprint are derived caches; dropping
+        # them keeps worker-pool pickles at the raw-graph size (workers
+        # rebuild lazily on first census).
+        return (
+            self._labelset,
+            self._ids,
+            self._labels,
+            self._adjacency,
+            self._label_starts,
+            self._num_edges,
+        )
+
+    def __setstate__(self, state) -> None:
+        self.__init__(*state)
 
     # ------------------------------------------------------------------
     # Construction
@@ -263,6 +324,63 @@ class HeteroGraph:
             lo, hi = starts[label], starts[label + 1]
             if hi > lo:
                 yield label, adjacency[lo:hi]
+
+    def flat(self) -> FlatAdjacency:
+        """The cached :class:`FlatAdjacency` snapshot (built on first use).
+
+        The graph is immutable, so the snapshot is computed once and shared
+        by every census run over this graph within the process.
+        """
+        if self._flat is None:
+            labels = self._labels.tolist()
+            indptr = [0]
+            neighbors: list = []
+            edge_ids: list = []
+            edge_u: list = []
+            edge_v: list = []
+            id_of: dict = {}
+            for u in range(len(self._ids)):
+                row = self._adjacency[u].tolist()
+                neighbors.extend(row)
+                for w in row:
+                    key = (u, w) if u < w else (w, u)
+                    eid = id_of.get(key)
+                    if eid is None:
+                        eid = len(edge_u)
+                        id_of[key] = eid
+                        edge_u.append(key[0])
+                        edge_v.append(key[1])
+                    edge_ids.append(eid)
+                indptr.append(len(neighbors))
+            degrees = [indptr[i + 1] - indptr[i] for i in range(len(self._ids))]
+            self._flat = FlatAdjacency(
+                labels=labels,
+                degrees=degrees,
+                indptr=indptr,
+                neighbors=neighbors,
+                edge_ids=edge_ids,
+                edge_u=edge_u,
+                edge_v=edge_v,
+            )
+        return self._flat
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the labelled structure (cached).
+
+        Two graphs with the same label alphabet, node labelling, and
+        adjacency (by internal index) share a fingerprint; external node
+        ids are deliberately excluded because rooted census counts do not
+        depend on them.  Used to key the census cache.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(repr(tuple(self._labelset.names)).encode())
+            digest.update(self._labels.tobytes())
+            for row in self._adjacency:
+                digest.update(row.tobytes())
+                digest.update(b"|")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether nodes at indices ``u`` and ``v`` are adjacent."""

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.census import CensusConfig, subgraph_census
+from repro.core.census import CensusConfig, EngineMode, subgraph_census
 from repro.core.graph import HeteroGraph
 from repro.experiments.common import (
     EMBEDDING_METHODS,
@@ -57,16 +57,23 @@ def time_census_per_node(
     emax: int = 3,
     dmax_percentile: float = 90.0,
     mask_start_label: bool = True,
+    engine: EngineMode = "fast",
 ) -> np.ndarray:
-    """Wall-clock seconds of the rooted census for each node."""
+    """Wall-clock seconds of the rooted census for each node.
+
+    ``engine`` selects the census implementation so the report can
+    compare the incremental engine against the reference path on the
+    same roots (the perf benchmarks do exactly that).
+    """
     dmax = percentile_degree(graph, dmax_percentile)
     config = CensusConfig(
         max_edges=emax, max_degree=dmax, mask_start_label=mask_start_label
     )
+    graph.flat()  # warm the adjacency snapshot outside the timed region
     times = np.empty(len(nodes))
     for i, node in enumerate(nodes):
         started = time.perf_counter()
-        subgraph_census(graph, int(node), config)
+        subgraph_census(graph, int(node), config, engine=engine)
         times[i] = time.perf_counter() - started
     return times
 
@@ -94,9 +101,10 @@ def runtime_report(
     dmax_percentile: float = 90.0,
     embedding_params: EmbeddingParams | None = None,
     seed: int = 0,
+    engine: EngineMode = "fast",
 ) -> RuntimeReport:
     """Build one Table 3 row for a dataset."""
-    times = time_census_per_node(graph, nodes, emax, dmax_percentile)
+    times = time_census_per_node(graph, nodes, emax, dmax_percentile, engine=engine)
     params = embedding_params if embedding_params is not None else EmbeddingParams.fast()
     embedding_mean = time_embeddings_per_node(graph, params, seed=seed)
     return RuntimeReport(

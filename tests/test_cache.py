@@ -1,0 +1,115 @@
+"""Unit tests for the per-root census cache and its extractor wiring."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CensusCache, census_cache_key
+from repro.core.census import CensusConfig, subgraph_census
+from repro.core.features import SubgraphFeatureExtractor
+from repro.core.graph import HeteroGraph
+
+
+@pytest.fixture
+def config() -> CensusConfig:
+    return CensusConfig(max_edges=3)
+
+
+class TestCensusCacheKey:
+    def test_key_varies_with_each_component(self, publication_graph, config):
+        base = census_cache_key(publication_graph, config, 0)
+        assert census_cache_key(publication_graph, config, 1) != base
+        other_config = CensusConfig(max_edges=4)
+        assert census_cache_key(publication_graph, other_config, 0) != base
+        other_graph = HeteroGraph.from_edges(
+            {"a": "A", "b": "B"}, [("a", "b")]
+        )
+        assert census_cache_key(other_graph, config, 0) != base
+
+    def test_key_normalises_numpy_roots(self, publication_graph, config):
+        assert census_cache_key(
+            publication_graph, config, np.int64(2)
+        ) == census_cache_key(publication_graph, config, 2)
+
+
+class TestCensusCache:
+    def test_roundtrip_and_stats(self, publication_graph, config):
+        cache = CensusCache()
+        assert cache.get(publication_graph, config, 0) is None
+        census = subgraph_census(publication_graph, 0, config)
+        cache.put(publication_graph, config, 0, census)
+        assert cache.get(publication_graph, config, 0) == census
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_get_returns_defensive_copy(self, publication_graph, config):
+        cache = CensusCache()
+        cache.put(publication_graph, config, 0, Counter({"k": 1}))
+        hit = cache.get(publication_graph, config, 0)
+        hit["k"] = 999
+        assert cache.get(publication_graph, config, 0) == Counter({"k": 1})
+
+    def test_persistence_roundtrip(self, publication_graph, config, tmp_path):
+        path = tmp_path / "census.cache"
+        cache = CensusCache(path)
+        census = subgraph_census(publication_graph, 1, config)
+        cache.put(publication_graph, config, 1, census)
+        cache.save()
+
+        reloaded = CensusCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(publication_graph, config, 1) == census
+
+    def test_corrupt_file_starts_empty(self, tmp_path):
+        path = tmp_path / "census.cache"
+        path.write_bytes(b"not a pickle")
+        assert len(CensusCache(path)) == 0
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError, match="path"):
+            CensusCache().save()
+
+    def test_clear_resets_everything(self, publication_graph, config):
+        cache = CensusCache()
+        cache.put(publication_graph, config, 0, Counter({"k": 1}))
+        cache.get(publication_graph, config, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestExtractorCacheIntegration:
+    def test_second_extraction_is_all_hits(self, publication_graph, config):
+        cache = CensusCache()
+        extractor = SubgraphFeatureExtractor(config, cache=cache)
+        nodes = [0, 2, 4]
+        first = extractor.census_many(publication_graph, nodes)
+        assert cache.misses == len(nodes) and cache.hits == 0
+        second = extractor.census_many(publication_graph, nodes)
+        assert cache.hits == len(nodes)
+        assert first == second
+
+    def test_cached_results_match_uncached(self, publication_graph, config):
+        nodes = list(range(publication_graph.num_nodes))
+        plain = SubgraphFeatureExtractor(config).census_many(
+            publication_graph, nodes
+        )
+        cache = CensusCache()
+        cached_extractor = SubgraphFeatureExtractor(config, cache=cache)
+        cached_extractor.census_many(publication_graph, nodes)  # warm
+        warm = cached_extractor.census_many(publication_graph, nodes)
+        assert warm == plain
+
+    def test_config_change_misses(self, publication_graph):
+        cache = CensusCache()
+        SubgraphFeatureExtractor(
+            CensusConfig(max_edges=2), cache=cache
+        ).census_many(publication_graph, [0])
+        SubgraphFeatureExtractor(
+            CensusConfig(max_edges=3), cache=cache
+        ).census_many(publication_graph, [0])
+        assert cache.hits == 0
+        assert len(cache) == 2

@@ -67,6 +67,35 @@ class TestCensus:
         ) == 0
         assert "__mask__" in capsys.readouterr().out
 
+    def test_census_cache_file_roundtrip(self, graph_json, tmp_path, capsys):
+        """--census-cache writes a cache file that serves the second run."""
+        cache_path = tmp_path / "census.cache"
+        args = [
+            "census",
+            graph_json,
+            "--root",
+            "i1",
+            "--emax",
+            "2",
+            "--census-cache",
+            str(cache_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert cache_path.exists()
+        assert "1 misses" in first.err
+
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "1 hits" in second.err
+        assert first.out == second.out
+
+    def test_n_jobs_flag_accepted(self, graph_json, capsys):
+        assert main(
+            ["census", graph_json, "--root", "i1", "--emax", "2", "--n-jobs", "2"]
+        ) == 0
+        assert "classes" in capsys.readouterr().err
+
 
 class TestFeatures:
     def test_writes_json(self, graph_json, tmp_path, capsys):
@@ -87,6 +116,29 @@ class TestFeatures:
         document = json.loads(out_path.read_text())
         assert len(document["matrix"]) == 2
         assert "wrote 2 x" in capsys.readouterr().out
+
+    def test_n_jobs_and_cache_flags(self, graph_json, tmp_path, capsys):
+        out_path = tmp_path / "features.json"
+        cache_path = tmp_path / "census.cache"
+        code = main(
+            [
+                "features",
+                graph_json,
+                "--nodes",
+                "i1,i2,a1,a2",
+                "--emax",
+                "2",
+                "--n-jobs",
+                "2",
+                "--census-cache",
+                str(cache_path),
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert cache_path.exists()
+        assert "census cache: 4 entries" in capsys.readouterr().err
 
     def test_empty_nodes_rejected(self, graph_json, tmp_path):
         with pytest.raises(SystemExit, match="at least one node"):

@@ -117,6 +117,50 @@ class TestExtractor:
         assert np.array_equal(features.matrix[0], features.matrix[1])
 
 
+class TestCensusManyScheduling:
+    def test_empty_nodes_returns_empty(self, publication_graph):
+        extractor = SubgraphFeatureExtractor(CensusConfig(max_edges=3), n_jobs=4)
+        assert extractor.census_many(publication_graph, []) == []
+
+    def test_small_batch_never_spawns_pool(self, publication_graph, monkeypatch):
+        """Fewer pending roots than workers must run in-process."""
+        import repro.core.features as features_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError("ProcessPoolExecutor should not be created")
+
+        monkeypatch.setattr(features_module, "ProcessPoolExecutor", boom)
+        extractor = SubgraphFeatureExtractor(CensusConfig(max_edges=3), n_jobs=8)
+        results = extractor.census_many(publication_graph, [0, 1])
+        expected = [
+            subgraph_census(publication_graph, n, extractor.config) for n in (0, 1)
+        ]
+        assert results == expected
+
+    def test_parallel_results_keep_input_order(self, publication_graph):
+        """Degree-sorted scheduling must not leak into result order."""
+        config = CensusConfig(max_edges=3)
+        # Ascending-degree order: the scheduler reverses it internally.
+        nodes = sorted(
+            range(publication_graph.num_nodes),
+            key=lambda n: publication_graph.degree(n),
+        )
+        parallel = SubgraphFeatureExtractor(config, n_jobs=2).census_many(
+            publication_graph, nodes
+        )
+        serial = [subgraph_census(publication_graph, n, config) for n in nodes]
+        assert parallel == serial
+
+    def test_duplicate_nodes_each_get_a_row(self, publication_graph):
+        config = CensusConfig(max_edges=2)
+        results = SubgraphFeatureExtractor(config).census_many(
+            publication_graph, [3, 3, 0]
+        )
+        assert results[0] == results[1]
+        assert results[0] == subgraph_census(publication_graph, 3, config)
+        assert results[2] == subgraph_census(publication_graph, 0, config)
+
+
 class TestFeatureSpaceUtilities:
     def test_merged_preserves_existing_columns(self):
         a = FeatureSpace(["x", "y"])
