@@ -33,6 +33,22 @@ from repro.experiments import (
 BENCH_EMBEDDING = EmbeddingParams.fast()
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run perf benches on a tiny workload: no gate, no JSON artefact",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request) -> bool:
+    """True when ``--smoke`` was passed: benches shrink their workload and
+    skip the speedup gate so the harness itself can be exercised quickly."""
+    return request.config.getoption("--smoke")
+
+
 @pytest.fixture(scope="session")
 def mag_world() -> SyntheticMAG:
     """The rank-prediction world: 5 conferences, 2007-2015, 60 institutions."""

@@ -7,6 +7,8 @@ Exposes the library's day-to-day operations on serialised graphs::
     python -m repro census graph.json --root MIT --emax 4
     python -m repro features graph.json --nodes MIT,ETH --out features.json
     python -m repro collisions --labels 2 --max-edges 5 --no-loops
+    python -m repro embed graph.json --method deepwalk --out emb.npy
+    python -m repro runtime graph.json --roots 25
 
 Graphs load from the labelled edge-list format (``.hel``, see
 :mod:`repro.io.edgelist`) or the JSON format (anything else).
@@ -124,6 +126,82 @@ def cmd_features(args) -> int:
     return 0
 
 
+def cmd_embed(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.experiments.common import EmbeddingParams, embedding_matrix
+
+    graph = _load_graph(args.graph)
+    params = EmbeddingParams(
+        dim=args.dim,
+        num_walks=args.num_walks,
+        walk_length=args.walk_length,
+        window=args.window,
+        negative=args.negative,
+        p=args.p,
+        q=args.q,
+        line_samples=args.line_samples,
+    )
+    matrix = embedding_matrix(
+        graph,
+        np.arange(graph.num_nodes),
+        args.method,
+        params,
+        seed=args.seed,
+        engine=args.engine,
+        n_jobs=args.n_jobs,
+    )
+    out = Path(args.out)
+    if out.suffix == ".npy":
+        np.save(out, matrix)
+    else:
+        payload = {
+            str(node_id): [float(x) for x in matrix[i]]
+            for i, node_id in enumerate(graph.node_ids)
+        }
+        out.write_text(json.dumps(payload) + "\n")
+    print(
+        f"wrote {matrix.shape[0]} x {matrix.shape[1]} {args.method} embedding "
+        f"(engine={args.engine}, n_jobs={args.n_jobs}) to {out}"
+    )
+    return 0
+
+
+def cmd_runtime(args) -> int:
+    import numpy as np
+
+    from repro.experiments.common import EmbeddingParams
+    from repro.experiments.reporting import render_table3
+    from repro.experiments.runtime import runtime_report
+
+    graph = _load_graph(args.graph)
+    if graph.num_nodes == 0:
+        raise SystemExit("error: graph has no nodes")
+    rng = np.random.default_rng(args.seed)
+    roots = rng.choice(
+        graph.num_nodes, size=min(args.roots, graph.num_nodes), replace=False
+    )
+    params = (
+        EmbeddingParams.paper() if args.preset == "paper" else EmbeddingParams.fast()
+    )
+    report = runtime_report(
+        Path(args.graph).stem,
+        graph,
+        [int(r) for r in roots],
+        emax=args.emax,
+        dmax_percentile=args.dmax_percentile,
+        embedding_params=params,
+        seed=args.seed,
+        engine=args.engine,
+        embedding_engine=args.engine,
+        embedding_n_jobs=args.n_jobs,
+    )
+    print(render_table3([report]))
+    return 0
+
+
 def cmd_collisions(args) -> int:
     report = find_collisions(
         num_labels=args.labels,
@@ -186,6 +264,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_feat.add_argument("--nodes", required=True, help="comma-separated node ids")
     p_feat.add_argument("--out", required=True, help="output JSON path")
     p_feat.set_defaults(func=cmd_features)
+
+    def pipeline_args(p):
+        p.add_argument(
+            "--engine",
+            choices=("fast", "reference"),
+            default="fast",
+            help="embedding pipeline implementation",
+        )
+        p.add_argument(
+            "--n-jobs",
+            "--jobs",
+            dest="n_jobs",
+            type=int,
+            default=1,
+            help="worker processes for corpus generation",
+        )
+        p.add_argument("--seed", type=int, default=0, help="rng seed")
+
+    p_embed = sub.add_parser("embed", help="train an embedding baseline")
+    p_embed.add_argument("graph")
+    p_embed.add_argument(
+        "--method",
+        required=True,
+        choices=("deepwalk", "node2vec", "line"),
+        help="embedding baseline to train",
+    )
+    p_embed.add_argument("--out", required=True, help="output path (.npy or JSON)")
+    p_embed.add_argument("--dim", type=int, default=128)
+    p_embed.add_argument("--num-walks", type=int, default=10)
+    p_embed.add_argument("--walk-length", type=int, default=80)
+    p_embed.add_argument("--window", type=int, default=10)
+    p_embed.add_argument("--negative", type=int, default=5)
+    p_embed.add_argument("--p", type=float, default=1.0)
+    p_embed.add_argument("--q", type=float, default=1.0)
+    p_embed.add_argument("--line-samples", type=int, default=None)
+    pipeline_args(p_embed)
+    p_embed.set_defaults(func=cmd_embed)
+
+    p_runtime = sub.add_parser(
+        "runtime", help="Table-3 style census + embedding timing row"
+    )
+    p_runtime.add_argument("graph")
+    p_runtime.add_argument(
+        "--roots", type=int, default=25, help="number of census roots to time"
+    )
+    p_runtime.add_argument("--emax", type=int, default=3, help="max subgraph edges")
+    p_runtime.add_argument(
+        "--dmax-percentile",
+        type=float,
+        default=90.0,
+        help="hub degree cut-off percentile",
+    )
+    p_runtime.add_argument(
+        "--preset",
+        choices=("fast", "paper"),
+        default="fast",
+        help="embedding hyper-parameter preset",
+    )
+    pipeline_args(p_runtime)
+    p_runtime.set_defaults(func=cmd_runtime)
 
     p_coll = sub.add_parser("collisions", help="enumerate encoding collisions")
     p_coll.add_argument("--labels", type=int, default=2)

@@ -19,7 +19,7 @@ class AliasTable:
         Non-negative, not-all-zero weights; normalised internally.
     """
 
-    __slots__ = ("_probability", "_alias", "size")
+    __slots__ = ("_probability", "_alias", "_uniform", "size")
 
     def __init__(self, weights) -> None:
         weights = np.asarray(weights, dtype=np.float64)
@@ -31,6 +31,10 @@ class AliasTable:
         if total <= 0:
             raise ValueError("weights must not sum to zero")
         self.size = weights.size
+        # A uniform table (LINE's unweighted edge table) needs no coin flip
+        # or alias lookup at all — sampling degenerates to one integers()
+        # call, halving the rng draws on that hot path.
+        self._uniform = bool(np.all(weights == weights[0]))
         scaled = weights * (self.size / total)
         probability = np.zeros(self.size)
         alias = np.zeros(self.size, dtype=np.int64)
@@ -56,8 +60,11 @@ class AliasTable:
         """Draw ``size`` indices (or a scalar when ``size`` is ``None``)."""
         n = 1 if size is None else size
         columns = rng.integers(0, self.size, size=n)
-        coins = rng.random(n)
-        picks = np.where(coins < self._probability[columns], columns, self._alias[columns])
+        if self._uniform:
+            picks = columns
+        else:
+            coins = rng.random(n)
+            picks = np.where(coins < self._probability[columns], columns, self._alias[columns])
         if size is None:
             return int(picks[0])
         return picks

@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.core.graph import HeteroGraph
 from repro.embeddings.skipgram import SkipGramTrainer
-from repro.embeddings.walks import uniform_random_walks
+from repro.embeddings.walks import WalkEngine, uniform_random_walks
 
 
 class DeepWalk:
@@ -19,6 +19,9 @@ class DeepWalk:
 
     Parameters mirror the paper's defaults (Section 4.2.2); ``epochs`` and
     ``batch_size`` belong to the SGNS optimiser, not the original method.
+    ``engine`` selects the fast or reference walk + trainer pipeline and
+    ``n_jobs`` shards walk epochs over worker processes (results are
+    identical for any worker count).
     """
 
     def __init__(
@@ -30,6 +33,8 @@ class DeepWalk:
         negative: int = 5,
         epochs: int = 1,
         seed: int | None = None,
+        engine: WalkEngine = "fast",
+        n_jobs: int = 1,
     ) -> None:
         self.dim = dim
         self.num_walks = num_walks
@@ -38,13 +43,20 @@ class DeepWalk:
         self.negative = negative
         self.epochs = epochs
         self.seed = seed
+        self.engine = engine
+        self.n_jobs = n_jobs
         self.embedding_: np.ndarray | None = None
 
     def fit(self, graph: HeteroGraph) -> "DeepWalk":
         """Learn embeddings for every node of ``graph``."""
         rng = np.random.default_rng(self.seed)
         walks = uniform_random_walks(
-            graph, self.num_walks, self.walk_length, rng=rng
+            graph,
+            self.num_walks,
+            self.walk_length,
+            rng=rng,
+            engine=self.engine,
+            n_jobs=self.n_jobs,
         )
         trainer = SkipGramTrainer(
             dim=self.dim,
@@ -52,6 +64,7 @@ class DeepWalk:
             negative=self.negative,
             epochs=self.epochs,
             seed=None if self.seed is None else self.seed + 1,
+            engine=self.engine,
         )
         self.embedding_ = trainer.fit(walks, graph.num_nodes)
         return self

@@ -12,11 +12,16 @@ import numpy as np
 
 from repro.core.graph import HeteroGraph
 from repro.embeddings.skipgram import SkipGramTrainer
-from repro.embeddings.walks import node2vec_walks
+from repro.embeddings.walks import WalkEngine, node2vec_walks
 
 
 class Node2Vec:
-    """node2vec node embeddings with paper-default parameters."""
+    """node2vec node embeddings with paper-default parameters.
+
+    ``engine`` selects the fast or reference walk + trainer pipeline and
+    ``n_jobs`` shards walk epochs over worker processes (results are
+    identical for any worker count).
+    """
 
     def __init__(
         self,
@@ -29,6 +34,8 @@ class Node2Vec:
         q: float = 1.0,
         epochs: int = 1,
         seed: int | None = None,
+        engine: WalkEngine = "fast",
+        n_jobs: int = 1,
     ) -> None:
         self.dim = dim
         self.num_walks = num_walks
@@ -39,6 +46,8 @@ class Node2Vec:
         self.q = q
         self.epochs = epochs
         self.seed = seed
+        self.engine = engine
+        self.n_jobs = n_jobs
         self.embedding_: np.ndarray | None = None
 
     def fit(self, graph: HeteroGraph) -> "Node2Vec":
@@ -51,6 +60,8 @@ class Node2Vec:
             p=self.p,
             q=self.q,
             rng=rng,
+            engine=self.engine,
+            n_jobs=self.n_jobs,
         )
         trainer = SkipGramTrainer(
             dim=self.dim,
@@ -58,6 +69,7 @@ class Node2Vec:
             negative=self.negative,
             epochs=self.epochs,
             seed=None if self.seed is None else self.seed + 1,
+            engine=self.engine,
         )
         self.embedding_ = trainer.fit(walks, graph.num_nodes)
         return self

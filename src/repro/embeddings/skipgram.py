@@ -8,34 +8,89 @@ objective with:
   (context size ``k = 10`` in the paper's defaults),
 * ``K`` negative samples per pair drawn from the unigram^(3/4) node
   distribution of the corpus,
-* mini-batched vectorised SGD with a linearly decaying learning rate —
-  gradient scatter via ``np.add.at`` keeps the hot loop inside numpy.
+* mini-batched vectorised SGD with a linearly decaying learning rate.
 
 DeepWalk's original hierarchical softmax is replaced by negative sampling,
 the standard practical choice (gensim does the same by default); this does
 not change the baseline's character as a label-blind structural embedding.
+
+Engines
+-------
+``engine="reference"`` is the exact per-pair formulation: every pair draws
+its own ``K`` negatives and gradients scatter through ``np.add.at``.
+``engine="fast"`` (default) shares one pool of negatives across the whole
+mini-batch — the formulation of TensorFlow's word2vec — which turns the
+negative pass into two small GEMMs and shrinks the scatter from
+``batch * K`` rows to ``pool`` rows.  The pool is larger than ``K`` and the
+negative gradient is rescaled by ``K / pool``, so the expected gradient
+matches the per-pair objective with lower per-sample variance.  One noise
+:class:`AliasTable` is built per fit and reused across all epochs.
 """
 
 from __future__ import annotations
+
+from typing import Literal
 
 import numpy as np
 
 from repro.embeddings.alias import AliasTable
 from repro.embeddings.walks import walk_node_frequencies
 
+TrainerEngine = Literal["fast", "reference"]
 
-def walks_to_pairs(walks, window: int, rng: np.random.Generator) -> np.ndarray:
-    """Extract (centre, context) pairs with per-position window shrinking.
+#: Elementwise gradient bound, far above any healthy gradient magnitude.
+#: It turns the geometric blow-up that occurs when a batch piles many
+#: stale-value updates on the same row (tiny graphs with large batches,
+#: overflowing float32) into bounded linear growth, without touching
+#: normal training dynamics.
+_GRAD_CLIP = 1000.0
 
-    word2vec samples an effective window in ``1..window`` uniformly per
-    centre, which downweights distant contexts; we reproduce that.
-    Returns an ``(num_pairs, 2)`` integer array.
+
+def _pairs_from_matrix(
+    walks: np.ndarray, window: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Vectorised pair extraction from a padded corpus matrix.
+
+    Streams every offset's pairs straight into one preallocated
+    ``(total, 2)`` buffer — no per-walk Python loop, no list appends.
     """
-    if window < 1:
-        raise ValueError(f"window must be >= 1, got {window}")
+    num_walks, length = walks.shape
+    if num_walks == 0 or length < 2:
+        return np.empty((0, 2), dtype=np.int64)
+    valid = walks >= 0
+    # word2vec samples an effective window in 1..window per centre, which
+    # downweights distant contexts; one draw covers every position.
+    effective = rng.integers(1, window + 1, size=(num_walks, length))
+    masks: list[tuple[int, np.ndarray, np.ndarray]] = []
+    total = 0
+    for offset in range(1, min(window, length - 1) + 1):
+        both = valid[:, offset:]  # pads are suffix-only: left end valid too
+        forward = both & (effective[:, : length - offset] >= offset)
+        backward = both & (effective[:, offset:] >= offset)
+        masks.append((offset, forward, backward))
+        total += int(forward.sum()) + int(backward.sum())
+    pairs = np.empty((total, 2), dtype=np.int64)
+    cursor = 0
+    for offset, forward, backward in masks:
+        left = walks[:, : length - offset]
+        right = walks[:, offset:]
+        n = int(forward.sum())
+        pairs[cursor: cursor + n, 0] = left[forward]
+        pairs[cursor: cursor + n, 1] = right[forward]
+        cursor += n
+        n = int(backward.sum())
+        pairs[cursor: cursor + n, 0] = right[backward]
+        pairs[cursor: cursor + n, 1] = left[backward]
+        cursor += n
+    return pairs
+
+
+def _pairs_per_walk(walks, window: int, rng: np.random.Generator) -> np.ndarray:
+    """The original per-walk extraction loop (reference engine)."""
     centres: list[np.ndarray] = []
     contexts: list[np.ndarray] = []
     for walk in walks:
+        walk = walk[walk >= 0] if isinstance(walk, np.ndarray) else walk
         length = walk.shape[0]
         if length < 2:
             continue
@@ -56,6 +111,29 @@ def walks_to_pairs(walks, window: int, rng: np.random.Generator) -> np.ndarray:
     return np.column_stack([np.concatenate(centres), np.concatenate(contexts)])
 
 
+def walks_to_pairs(
+    walks,
+    window: int,
+    rng: np.random.Generator,
+    engine: TrainerEngine = "fast",
+) -> np.ndarray:
+    """Extract (centre, context) pairs with per-position window shrinking.
+
+    Accepts the padded corpus matrix of
+    :func:`~repro.embeddings.walks.uniform_random_walks` (consumed without
+    row copies) or a legacy list of per-walk arrays.  Returns an
+    ``(num_pairs, 2)`` integer array.  On full-length corpora the two
+    engines consume the rng identically, so their pair multisets coincide.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if engine not in ("fast", "reference"):
+        raise ValueError(f"unknown pairs engine {engine!r}")
+    if engine == "fast" and isinstance(walks, np.ndarray) and walks.ndim == 2:
+        return _pairs_from_matrix(walks, window, rng)
+    return _pairs_per_walk(walks, window, rng)
+
+
 class SkipGramTrainer:
     """SGNS trainer producing node embeddings from a walk corpus.
 
@@ -73,6 +151,10 @@ class SkipGramTrainer:
         Initial SGD step, decayed linearly to 1e-4 of itself.
     batch_size:
         Pairs per vectorised update.
+    engine:
+        ``"fast"`` (default) shares a rescaled negative pool per batch;
+        ``"reference"`` draws ``K`` negatives per pair (the exact original
+        formulation).
     """
 
     def __init__(
@@ -84,6 +166,7 @@ class SkipGramTrainer:
         learning_rate: float = 0.025,
         batch_size: int = 2048,
         seed: int | None = None,
+        engine: TrainerEngine = "fast",
     ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
@@ -91,6 +174,8 @@ class SkipGramTrainer:
             raise ValueError(f"negative must be >= 1, got {negative}")
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if engine not in ("fast", "reference"):
+            raise ValueError(f"unknown trainer engine {engine!r}")
         self.dim = dim
         self.window = window
         self.negative = negative
@@ -98,20 +183,31 @@ class SkipGramTrainer:
         self.learning_rate = learning_rate
         self.batch_size = batch_size
         self.seed = seed
+        self.engine = engine
 
     def fit(self, walks, num_nodes: int) -> np.ndarray:
         """Train and return the input-embedding matrix ``(num_nodes, dim)``."""
         rng = np.random.default_rng(self.seed)
-        pairs = walks_to_pairs(walks, self.window, rng)
+        pairs = walks_to_pairs(walks, self.window, rng, engine=self.engine)
         if pairs.shape[0] == 0:
             raise ValueError("walk corpus produced no training pairs")
         frequencies = walk_node_frequencies(walks, num_nodes)
+        # Built once, reused by every batch of every epoch.
         noise = AliasTable(np.maximum(frequencies, 1e-12) ** 0.75)
 
         scale = 0.5 / self.dim
         input_vectors = rng.uniform(-scale, scale, size=(num_nodes, self.dim))
         output_vectors = np.zeros((num_nodes, self.dim))
+        if self.engine == "fast":
+            # Single precision halves the GEMM and scatter bandwidth; SGNS
+            # tolerates it (word2vec itself trains in float32).  The init is
+            # drawn in float64 first so it matches the reference stream.
+            input_vectors = input_vectors.astype(np.float32)
+            output_vectors = output_vectors.astype(np.float32)
 
+        step_fn = (
+            self._sgd_step_shared if self.engine == "fast" else self._sgd_step
+        )
         total_steps = self.epochs * ((pairs.shape[0] + self.batch_size - 1) // self.batch_size)
         step = 0
         for _ in range(self.epochs):
@@ -121,9 +217,9 @@ class SkipGramTrainer:
                 lr = self.learning_rate * max(
                     1.0 - step / max(total_steps, 1), 1e-4
                 )
-                self._sgd_step(batch, input_vectors, output_vectors, noise, rng, lr)
+                step_fn(batch, input_vectors, output_vectors, noise, rng, lr)
                 step += 1
-        return input_vectors
+        return input_vectors.astype(np.float64, copy=False)
 
     def _sgd_step(
         self,
@@ -155,6 +251,9 @@ class SkipGramTrainer:
         grad_centre += np.sum(neg_coeff * neg_vecs, axis=1)
         grad_neg = neg_coeff * centre_vecs[:, None, :]
 
+        np.clip(grad_centre, -_GRAD_CLIP, _GRAD_CLIP, out=grad_centre)
+        np.clip(grad_pos, -_GRAD_CLIP, _GRAD_CLIP, out=grad_pos)
+        np.clip(grad_neg, -_GRAD_CLIP, _GRAD_CLIP, out=grad_neg)
         np.add.at(input_vectors, centres, -lr * grad_centre)
         np.add.at(output_vectors, positives, -lr * grad_pos)
         np.add.at(
@@ -162,3 +261,46 @@ class SkipGramTrainer:
             negatives.ravel(),
             -lr * grad_neg.reshape(-1, self.dim),
         )
+
+    def _negative_pool_size(self, noise: AliasTable) -> int:
+        # Enough shared samples to keep the pool diverse even for small K,
+        # but never more than the support of the noise distribution.
+        return min(max(8 * self.negative, 64), noise.size)
+
+    def _sgd_step_shared(
+        self,
+        batch: np.ndarray,
+        input_vectors: np.ndarray,
+        output_vectors: np.ndarray,
+        noise: AliasTable,
+        rng: np.random.Generator,
+        lr: float,
+    ) -> None:
+        centres = batch[:, 0]
+        positives = batch[:, 1]
+        pool = self._negative_pool_size(noise)
+        negatives = noise.sample(rng, pool)
+
+        centre_vecs = input_vectors[centres]  # (b, d)
+        pos_vecs = output_vectors[positives]
+        pos_scores = 1.0 / (1.0 + np.exp(-np.clip(np.sum(centre_vecs * pos_vecs, axis=1), -30, 30)))
+        pos_coeff = (pos_scores - 1.0)[:, None]
+        grad_centre = pos_coeff * pos_vecs
+        grad_pos = pos_coeff * centre_vecs
+
+        # Shared negative pass: score every pair against one pool via GEMM,
+        # rescaled so the expected gradient equals K negatives per pair.
+        neg_vecs = output_vectors[negatives]  # (pool, d)
+        neg_scores = 1.0 / (
+            1.0 + np.exp(-np.clip(centre_vecs @ neg_vecs.T, -30, 30))
+        )  # (b, pool)
+        rescale = self.negative / pool
+        grad_centre += rescale * (neg_scores @ neg_vecs)
+        grad_negs = rescale * (neg_scores.T @ centre_vecs)  # (pool, d)
+
+        np.clip(grad_centre, -_GRAD_CLIP, _GRAD_CLIP, out=grad_centre)
+        np.clip(grad_pos, -_GRAD_CLIP, _GRAD_CLIP, out=grad_pos)
+        np.clip(grad_negs, -_GRAD_CLIP, _GRAD_CLIP, out=grad_negs)
+        np.add.at(input_vectors, centres, -lr * grad_centre)
+        np.add.at(output_vectors, positives, -lr * grad_pos)
+        np.add.at(output_vectors, negatives, -lr * grad_negs)

@@ -57,6 +57,8 @@ def embedding_matrix(
     method: str,
     params: EmbeddingParams,
     seed: int = 0,
+    engine: str = "fast",
+    n_jobs: int = 1,
 ) -> np.ndarray:
     """Train one embedding baseline on ``graph`` and return rows for ``nodes``.
 
@@ -64,6 +66,11 @@ def embedding_matrix(
     ----------
     method:
         One of ``"node2vec"``, ``"deepwalk"``, ``"line"``.
+    engine:
+        ``"fast"`` or ``"reference"`` pipeline, forwarded to the model.
+    n_jobs:
+        Worker processes for corpus generation (walk methods) or order
+        training (LINE); never changes the result.
     """
     nodes = np.asarray(nodes, dtype=np.int64)
     # With the paper defaults (p = q = 1) node2vec's walks coincide with
@@ -78,6 +85,8 @@ def embedding_matrix(
             window=params.window,
             negative=params.negative,
             seed=seed,
+            engine=engine,
+            n_jobs=n_jobs,
         )
     elif method == "node2vec":
         model = Node2Vec(
@@ -89,6 +98,8 @@ def embedding_matrix(
             p=params.p,
             q=params.q,
             seed=seed,
+            engine=engine,
+            n_jobs=n_jobs,
         )
     elif method == "line":
         model = LINE(
@@ -96,6 +107,8 @@ def embedding_matrix(
             num_samples=params.line_samples,
             negative=params.negative,
             seed=seed,
+            engine=engine,
+            n_jobs=n_jobs,
         )
     else:
         raise ValueError(f"unknown embedding method {method!r}")

@@ -85,6 +85,7 @@ def render_table3(reports) -> str:
     header = (
         f"{'dataset':<8} {'mean':>9} {'p75':>9} {'p90':>9} {'p95':>9} {'max':>9} "
         + " ".join(f"{m:>9}" for m in EMBEDDING_METHODS)
+        + " pipeline"
     )
     lines = ["Table 3: extraction seconds per node", header]
     lines.extend(report.row() for report in reports)

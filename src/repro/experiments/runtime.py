@@ -26,7 +26,12 @@ from repro.experiments.common import (
 
 @dataclass
 class RuntimeReport:
-    """Per-dataset timing summary, mirroring Table 3's columns."""
+    """Per-dataset timing summary, mirroring Table 3's columns.
+
+    ``embedding_engine`` and ``embedding_n_jobs`` record which pipeline
+    produced the embedding columns, so Table 3 reproductions are traceable
+    to a specific implementation.
+    """
 
     dataset: str
     census_mean: float
@@ -36,6 +41,8 @@ class RuntimeReport:
     census_max: float
     embedding_mean: dict[str, float]
     num_nodes_timed: int
+    embedding_engine: str = "fast"
+    embedding_n_jobs: int = 1
 
     def row(self) -> str:
         cells = [
@@ -48,6 +55,9 @@ class RuntimeReport:
         ]
         for method in EMBEDDING_METHODS:
             cells.append(f"{self.embedding_mean[method]:9.5f}")
+        cells.append(
+            f"[engine={self.embedding_engine}, n_jobs={self.embedding_n_jobs}]"
+        )
         return " ".join(cells)
 
 
@@ -82,13 +92,19 @@ def time_embeddings_per_node(
     graph: HeteroGraph,
     params: EmbeddingParams,
     seed: int = 0,
+    engine: str = "fast",
+    n_jobs: int = 1,
 ) -> dict[str, float]:
-    """Total embedding training time divided by node count, per method."""
+    """Total embedding training time divided by node count, per method.
+
+    ``engine`` and ``n_jobs`` select the pipeline being timed; the report
+    row records them so runs with different pipelines stay comparable.
+    """
     per_node = {}
     probe = [0]
     for method in EMBEDDING_METHODS:
         started = time.perf_counter()
-        embedding_matrix(graph, probe, method, params, seed=seed)
+        embedding_matrix(graph, probe, method, params, seed=seed, engine=engine, n_jobs=n_jobs)
         per_node[method] = (time.perf_counter() - started) / graph.num_nodes
     return per_node
 
@@ -102,11 +118,19 @@ def runtime_report(
     embedding_params: EmbeddingParams | None = None,
     seed: int = 0,
     engine: EngineMode = "fast",
+    embedding_engine: str = "fast",
+    embedding_n_jobs: int = 1,
 ) -> RuntimeReport:
-    """Build one Table 3 row for a dataset."""
+    """Build one Table 3 row for a dataset.
+
+    ``engine`` selects the census implementation, ``embedding_engine`` and
+    ``embedding_n_jobs`` the embedding pipeline; both are recorded.
+    """
     times = time_census_per_node(graph, nodes, emax, dmax_percentile, engine=engine)
     params = embedding_params if embedding_params is not None else EmbeddingParams.fast()
-    embedding_mean = time_embeddings_per_node(graph, params, seed=seed)
+    embedding_mean = time_embeddings_per_node(
+        graph, params, seed=seed, engine=embedding_engine, n_jobs=embedding_n_jobs
+    )
     return RuntimeReport(
         dataset=dataset,
         census_mean=float(times.mean()),
@@ -116,4 +140,6 @@ def runtime_report(
         census_max=float(times.max()),
         embedding_mean=embedding_mean,
         num_nodes_timed=len(nodes),
+        embedding_engine=embedding_engine,
+        embedding_n_jobs=embedding_n_jobs,
     )

@@ -154,6 +154,142 @@ class TestFeatures:
             )
 
 
+class TestEmbed:
+    def test_writes_npy(self, graph_json, tmp_path, capsys):
+        out_path = tmp_path / "emb.npy"
+        code = main(
+            [
+                "embed",
+                graph_json,
+                "--method",
+                "deepwalk",
+                "--out",
+                str(out_path),
+                "--dim",
+                "8",
+                "--num-walks",
+                "2",
+                "--walk-length",
+                "8",
+                "--window",
+                "3",
+            ]
+        )
+        assert code == 0
+        import numpy as np
+
+        matrix = np.load(out_path)
+        assert matrix.shape == (7, 8)
+        assert "engine=fast" in capsys.readouterr().out
+
+    def test_writes_json_keyed_by_node_id(self, graph_json, tmp_path):
+        out_path = tmp_path / "emb.json"
+        code = main(
+            [
+                "embed",
+                graph_json,
+                "--method",
+                "line",
+                "--out",
+                str(out_path),
+                "--dim",
+                "4",
+                "--line-samples",
+                "500",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert len(payload) == 7
+        assert "i1" in payload
+        assert len(payload["i1"]) == 4
+
+    def test_engine_and_n_jobs_flags(self, graph_json, tmp_path, capsys):
+        out_path = tmp_path / "emb.npy"
+        code = main(
+            [
+                "embed",
+                graph_json,
+                "--method",
+                "node2vec",
+                "--out",
+                str(out_path),
+                "--dim",
+                "4",
+                "--num-walks",
+                "2",
+                "--walk-length",
+                "6",
+                "--window",
+                "2",
+                "--p",
+                "0.5",
+                "--q",
+                "2.0",
+                "--engine",
+                "reference",
+                "--n-jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine=reference" in out
+        assert "n_jobs=2" in out
+
+    def test_bad_engine_rejected(self, graph_json, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "embed",
+                    graph_json,
+                    "--method",
+                    "deepwalk",
+                    "--out",
+                    str(tmp_path / "x.npy"),
+                    "--engine",
+                    "turbo",
+                ]
+            )
+
+
+class TestRuntime:
+    def test_prints_table3_row(self, graph_json, capsys):
+        code = main(
+            [
+                "runtime",
+                graph_json,
+                "--roots",
+                "3",
+                "--emax",
+                "2",
+                "--n-jobs",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "engine=fast" in out
+        assert "n_jobs=1" in out
+
+    def test_engine_flag_threads_through(self, graph_json, capsys):
+        code = main(
+            [
+                "runtime",
+                graph_json,
+                "--roots",
+                "2",
+                "--emax",
+                "2",
+                "--engine",
+                "reference",
+            ]
+        )
+        assert code == 0
+        assert "engine=reference" in capsys.readouterr().out
+
+
 class TestCollisions:
     def test_reports_bound(self, capsys):
         assert main(["collisions", "--labels", "2", "--max-edges", "4"]) == 0

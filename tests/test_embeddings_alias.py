@@ -61,3 +61,26 @@ class TestSampling:
     def test_single_element(self):
         table = AliasTable([2.0])
         assert table.sample(np.random.default_rng(0)) == 0
+
+
+class TestUniformFastPath:
+    """All-equal weights skip the coin flip but keep the same distribution."""
+
+    def test_uniform_flag_set(self):
+        assert AliasTable(np.ones(5))._uniform
+        assert not AliasTable([1.0, 2.0])._uniform
+
+    def test_uniform_draws_cover_support(self):
+        table = AliasTable(np.full(6, 3.5))
+        draws = table.sample(np.random.default_rng(0), 20_000)
+        frequencies = np.bincount(draws, minlength=6) / 20_000
+        assert np.allclose(frequencies, 1 / 6, atol=0.02)
+
+    def test_uniform_deterministic(self):
+        table = AliasTable(np.ones(8))
+        a = table.sample(np.random.default_rng(4), 50)
+        b = table.sample(np.random.default_rng(4), 50)
+        assert np.array_equal(a, b)
+
+    def test_uniform_scalar(self):
+        assert AliasTable(np.ones(3)).sample(np.random.default_rng(1)) in (0, 1, 2)

@@ -6,6 +6,9 @@ import pytest
 from repro.core.graph import HeteroGraph
 from repro.embeddings import DeepWalk, LINE, Node2Vec, SkipGramTrainer
 from repro.embeddings.skipgram import walks_to_pairs
+from repro.embeddings.walks import uniform_random_walks
+
+ENGINES = ("fast", "reference")
 
 
 @pytest.fixture(scope="module")
@@ -35,50 +38,103 @@ def _community_separation(embedding: np.ndarray, half: int) -> float:
 
 
 class TestWalksToPairs:
-    def test_pairs_within_window(self):
+    def test_pairs_within_window_matrix(self):
+        rng = np.random.default_rng(0)
+        walks = np.array([[1, 2, 3, 4, 5]], dtype=np.int64)
+        pairs = walks_to_pairs(walks, window=2, rng=rng)
+        assert pairs.shape[1] == 2
+        positions = {v: i for i, v in enumerate(walks[0])}
+        for centre, context in pairs:
+            assert abs(positions[centre] - positions[context]) <= 2
+
+    def test_pairs_within_window_legacy_list(self):
         rng = np.random.default_rng(0)
         walks = [np.array([1, 2, 3, 4, 5])]
         pairs = walks_to_pairs(walks, window=2, rng=rng)
         assert pairs.shape[1] == 2
-        for centre, context in pairs:
-            positions = {v: i for i, v in enumerate(walks[0])}
-            assert abs(positions[centre] - positions[context]) <= 2
 
     def test_short_walks_skipped(self):
         rng = np.random.default_rng(0)
-        pairs = walks_to_pairs([np.array([7])], window=3, rng=rng)
-        assert pairs.shape == (0, 2)
+        assert walks_to_pairs([np.array([7])], window=3, rng=rng).shape == (0, 2)
+        padded = np.array([[7, -1, -1]], dtype=np.int64)
+        assert walks_to_pairs(padded, window=3, rng=rng, engine="reference").shape == (0, 2)
+
+    def test_padded_rows_never_pair_the_sentinel(self):
+        rng = np.random.default_rng(1)
+        walks = np.array([[0, 1, 2, -1, -1], [3, -1, -1, -1, -1]], dtype=np.int64)
+        pairs = walks_to_pairs(walks, window=3, rng=rng)
+        assert (pairs >= 0).all()
+
+    def test_engines_match_on_full_corpus(self):
+        """On a pad-free corpus both extraction engines consume the rng
+        identically, so their pair multisets coincide exactly."""
+        graph = HeteroGraph.from_edges(
+            {"a": "X", "b": "X", "c": "X"},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        walks = uniform_random_walks(graph, num_walks=3, walk_length=6, rng=0)
+        fast = walks_to_pairs(walks, window=3, rng=np.random.default_rng(5))
+        reference = walks_to_pairs(
+            walks, window=3, rng=np.random.default_rng(5), engine="reference"
+        )
+        assert fast.shape == reference.shape
+        key = lambda arr: sorted(map(tuple, arr.tolist()))
+        assert key(fast) == key(reference)
 
     def test_bad_window(self):
         with pytest.raises(ValueError):
             walks_to_pairs([], window=0, rng=np.random.default_rng(0))
 
+    def test_bad_engine(self):
+        with pytest.raises(ValueError):
+            walks_to_pairs(
+                np.zeros((1, 3), dtype=np.int64),
+                window=1,
+                rng=np.random.default_rng(0),
+                engine="turbo",
+            )
+
 
 class TestSkipGram:
-    def test_output_shape(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_output_shape(self, engine):
         walks = [np.array([0, 1, 2, 1, 0])] * 20
-        trainer = SkipGramTrainer(dim=8, window=2, seed=0)
+        trainer = SkipGramTrainer(dim=8, window=2, seed=0, engine=engine)
         embedding = trainer.fit(walks, num_nodes=3)
         assert embedding.shape == (3, 8)
         assert np.all(np.isfinite(embedding))
+
+    def test_matrix_corpus_accepted(self):
+        walks = np.tile(np.array([0, 1, 2, 1, 0], dtype=np.int64), (20, 1))
+        embedding = SkipGramTrainer(dim=8, window=2, seed=0).fit(walks, num_nodes=3)
+        assert embedding.shape == (3, 8)
 
     def test_empty_corpus_rejected(self):
         trainer = SkipGramTrainer(dim=4, seed=0)
         with pytest.raises(ValueError):
             trainer.fit([np.array([1])], num_nodes=2)
 
-    def test_cooccurring_nodes_closer(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_cooccurring_nodes_closer(self, engine):
         """Nodes that always co-occur end up more similar than strangers."""
-        rng = np.random.default_rng(0)
         walks = []
         for _ in range(300):
             walks.append(np.array([0, 1] * 4))
             walks.append(np.array([2, 3] * 4))
-        embedding = SkipGramTrainer(dim=16, window=2, epochs=3, seed=0).fit(walks, 4)
+        embedding = SkipGramTrainer(
+            dim=16, window=2, epochs=3, seed=0, engine=engine
+        ).fit(walks, 4)
         normed = embedding / np.linalg.norm(embedding, axis=1, keepdims=True)
         together = normed[0] @ normed[1]
         apart = normed[0] @ normed[3]
         assert together > apart
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deterministic(self, engine):
+        walks = np.tile(np.array([0, 1, 2, 1, 0], dtype=np.int64), (30, 1))
+        a = SkipGramTrainer(dim=8, window=2, seed=3, engine=engine).fit(walks, 3)
+        b = SkipGramTrainer(dim=8, window=2, seed=3, engine=engine).fit(walks, 3)
+        assert np.array_equal(a, b)
 
     def test_parameter_validation(self):
         with pytest.raises(ValueError):
@@ -87,12 +143,17 @@ class TestSkipGram:
             SkipGramTrainer(negative=0)
         with pytest.raises(ValueError):
             SkipGramTrainer(epochs=0)
+        with pytest.raises(ValueError):
+            SkipGramTrainer(engine="turbo")
 
 
 class TestBaselines:
-    def test_deepwalk_separates_communities(self, community_graph):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deepwalk_separates_communities(self, community_graph, engine):
         graph, half = community_graph
-        model = DeepWalk(dim=24, num_walks=10, walk_length=30, window=5, seed=0)
+        model = DeepWalk(
+            dim=24, num_walks=10, walk_length=30, window=5, seed=0, engine=engine
+        )
         model.fit(graph)
         assert _community_separation(model.embedding_, half) > 0.2
 
@@ -102,9 +163,10 @@ class TestBaselines:
         model.fit(graph)
         assert _community_separation(model.embedding_, half) > 0.2
 
-    def test_line_separates_communities(self, community_graph):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_line_separates_communities(self, community_graph, engine):
         graph, half = community_graph
-        model = LINE(dim=24, num_samples=60_000, seed=0)
+        model = LINE(dim=24, num_samples=60_000, seed=0, engine=engine)
         model.fit(graph)
         assert _community_separation(model.embedding_, half) > 0.1
 
@@ -132,12 +194,54 @@ class TestBaselines:
         assert np.array_equal(rows[0], model.embedding_[3])
         assert np.array_equal(rows[1], model.embedding_[5])
 
-    def test_deterministic_with_seed(self, community_graph):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deterministic_with_seed(self, community_graph, engine):
         graph, _ = community_graph
-        a = DeepWalk(dim=8, num_walks=2, walk_length=10, seed=4).fit(graph)
-        b = DeepWalk(dim=8, num_walks=2, walk_length=10, seed=4).fit(graph)
+        a = DeepWalk(dim=8, num_walks=2, walk_length=10, seed=4, engine=engine).fit(graph)
+        b = DeepWalk(dim=8, num_walks=2, walk_length=10, seed=4, engine=engine).fit(graph)
         assert np.array_equal(a.embedding_, b.embedding_)
 
     def test_line_dim_validation(self):
         with pytest.raises(ValueError):
             LINE(dim=1)
+
+    def test_line_engine_validation(self):
+        with pytest.raises(ValueError):
+            LINE(engine="turbo")
+        with pytest.raises(ValueError):
+            LINE(n_jobs=0)
+
+
+class TestNJobsReproducibility:
+    """Same seed => identical embeddings for any worker count (satellite)."""
+
+    @pytest.fixture(scope="class")
+    def small_graph(self):
+        rng = np.random.default_rng(1)
+        labels = {f"v{i}": "X" for i in range(20)}
+        edges = set()
+        while len(edges) < 50:
+            a, b = rng.integers(0, 20, 2)
+            if a != b:
+                edges.add((f"v{min(a, b)}", f"v{max(a, b)}"))
+        return HeteroGraph.from_edges(labels, edges)
+
+    def test_deepwalk_n_jobs_identical(self, small_graph):
+        kwargs = dict(dim=8, num_walks=4, walk_length=10, window=3, seed=7)
+        serial = DeepWalk(n_jobs=1, **kwargs).fit(small_graph).embedding_
+        parallel = DeepWalk(n_jobs=4, **kwargs).fit(small_graph).embedding_
+        assert np.array_equal(serial, parallel)
+
+    def test_node2vec_n_jobs_identical(self, small_graph):
+        kwargs = dict(
+            dim=8, num_walks=4, walk_length=10, window=3, p=0.5, q=2.0, seed=7
+        )
+        serial = Node2Vec(n_jobs=1, **kwargs).fit(small_graph).embedding_
+        parallel = Node2Vec(n_jobs=4, **kwargs).fit(small_graph).embedding_
+        assert np.array_equal(serial, parallel)
+
+    def test_line_n_jobs_identical(self, small_graph):
+        kwargs = dict(dim=8, num_samples=4_000, seed=7)
+        serial = LINE(n_jobs=1, **kwargs).fit(small_graph).embedding_
+        parallel = LINE(n_jobs=4, **kwargs).fit(small_graph).embedding_
+        assert np.array_equal(serial, parallel)

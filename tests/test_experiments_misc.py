@@ -68,8 +68,22 @@ class TestRuntime:
         assert report.num_nodes_timed == 4
         row = report.row()
         assert "IMDB" in row
+        assert "engine=fast" in row
+        assert "n_jobs=1" in row
         rendered = render_table3([report])
         assert "Table 3" in rendered
+        assert "pipeline" in rendered
+
+    def test_report_records_pipeline(self, imdb_graph):
+        params = EmbeddingParams(dim=8, num_walks=2, walk_length=8, window=3,
+                                 line_samples=2_000)
+        report = runtime_report(
+            "IMDB", imdb_graph, [0, 1], emax=2, embedding_params=params,
+            embedding_engine="reference", embedding_n_jobs=2,
+        )
+        assert report.embedding_engine == "reference"
+        assert "engine=reference" in report.row()
+        assert "n_jobs=2" in report.row()
 
 
 class TestImportance:
