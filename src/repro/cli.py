@@ -9,15 +9,23 @@ Exposes the library's day-to-day operations on serialised graphs::
     python -m repro collisions --labels 2 --max-edges 5 --no-loops
     python -m repro embed graph.json --method deepwalk --out emb.npy
     python -m repro runtime graph.json --roots 25
+    python -m repro rank --conferences KDD --families classic,subgraph
+    python -m repro label graph.json --per-label 16
 
 Graphs load from the labelled edge-list format (``.hel``, see
 :mod:`repro.io.edgelist`) or the JSON format (anything else).
+
+Results (tables, matrices, counts) go to stdout via ``print``;
+diagnostics go to stderr through :mod:`repro.obs.log` and are controlled
+by ``--log-level``/``-v``.  Every analysis command accepts
+``--telemetry-out run.json`` to write a JSON run manifest (config,
+engine/n_jobs provenance, cache hit rates, per-phase wall clock, peak
+RSS — see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
 
 from repro.core import (
@@ -31,6 +39,16 @@ from repro.core import (
 )
 from repro.core.census import effective_labelset
 from repro.io import read_edgelist, read_graph_json, write_features_json
+from repro.obs import (
+    add_logging_args,
+    configure_logging,
+    fresh_telemetry,
+    get_logger,
+    get_telemetry,
+    write_manifest,
+)
+
+logger = get_logger(__name__)
 
 
 def _load_graph(path: str):
@@ -50,22 +68,35 @@ def _census_config(args) -> CensusConfig:
     )
 
 
+def _open_cache(path: str | None) -> CensusCache | None:
+    if not path:
+        return None
+    cache = CensusCache(path)
+    get_telemetry().annotate("cache/path", path)
+    return cache
+
+
 def _extractor(args, config: CensusConfig) -> SubgraphFeatureExtractor:
     """Build the extractor shared by the census/features commands,
     honouring ``--n-jobs`` and the opt-in ``--census-cache`` file."""
-    cache = CensusCache(args.census_cache) if args.census_cache else None
+    cache = _open_cache(args.census_cache)
     return SubgraphFeatureExtractor(config, n_jobs=args.n_jobs, cache=cache)
 
 
-def _save_cache(extractor: SubgraphFeatureExtractor) -> None:
-    cache = extractor.cache
+def _save_cache(cache: CensusCache | None) -> None:
     if cache is not None and cache.path is not None:
         cache.save()
-        print(
-            f"# census cache: {len(cache)} entries "
-            f"({cache.hits} hits, {cache.misses} misses) -> {cache.path}",
-            file=sys.stderr,
+        logger.info(
+            "census cache: %d entries (%d hits, %d misses) -> %s",
+            len(cache),
+            cache.hits,
+            cache.misses,
+            cache.path,
         )
+
+
+def _csv(value: str, caster=str) -> list:
+    return [caster(item) for item in value.split(",") if item]
 
 
 def cmd_info(args) -> int:
@@ -93,17 +124,18 @@ def cmd_census(args) -> int:
     config = _census_config(args)
     extractor = _extractor(args, config)
     counts = extractor.census_many(graph, [graph.index(args.root)])[0]
-    _save_cache(extractor)
+    _save_cache(extractor.cache)
     labelset = effective_labelset(graph, config)
     for code, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
         line = f"{count}\t{code_to_string(code, labelset)}"
         if args.describe:
             line += f"\t{describe_code(code, labelset)}"
         print(line)
-    print(
-        f"# {sum(counts.values())} subgraphs in {len(counts)} classes "
-        f"around {args.root!r}",
-        file=sys.stderr,
+    logger.info(
+        "%d subgraphs in %d classes around %r",
+        sum(counts.values()),
+        len(counts),
+        args.root,
     )
     return 0
 
@@ -111,13 +143,13 @@ def cmd_census(args) -> int:
 def cmd_features(args) -> int:
     graph = _load_graph(args.graph)
     config = _census_config(args)
-    names = [name for name in args.nodes.split(",") if name]
+    names = _csv(args.nodes)
     if not names:
         raise SystemExit("error: --nodes must list at least one node id")
     nodes = [graph.index(name) for name in names]
     extractor = _extractor(args, config)
     features = extractor.fit_transform(graph, nodes)
-    _save_cache(extractor)
+    _save_cache(extractor.cache)
     write_features_json(features, effective_labelset(graph, config), args.out)
     print(
         f"wrote {features.matrix.shape[0]} x {features.matrix.shape[1]} "
@@ -144,15 +176,16 @@ def cmd_embed(args) -> int:
         q=args.q,
         line_samples=args.line_samples,
     )
-    matrix = embedding_matrix(
-        graph,
-        np.arange(graph.num_nodes),
-        args.method,
-        params,
-        seed=args.seed,
-        engine=args.engine,
-        n_jobs=args.n_jobs,
-    )
+    with get_telemetry().span(f"phase/embed_{args.method}"):
+        matrix = embedding_matrix(
+            graph,
+            np.arange(graph.num_nodes),
+            args.method,
+            params,
+            seed=args.seed,
+            engine=args.engine,
+            n_jobs=args.n_jobs,
+        )
     out = Path(args.out)
     if out.suffix == ".npy":
         np.save(out, matrix)
@@ -186,6 +219,7 @@ def cmd_runtime(args) -> int:
     params = (
         EmbeddingParams.paper() if args.preset == "paper" else EmbeddingParams.fast()
     )
+    cache = _open_cache(args.census_cache)
     report = runtime_report(
         Path(args.graph).stem,
         graph,
@@ -197,8 +231,95 @@ def cmd_runtime(args) -> int:
         engine=args.engine,
         embedding_engine=args.engine,
         embedding_n_jobs=args.n_jobs,
+        census_cache=cache,
     )
+    _save_cache(cache)
     print(render_table3([report]))
+    return 0
+
+
+def cmd_rank(args) -> int:
+    from repro.datasets.mag import MagConfig, SyntheticMAG
+    from repro.experiments.rank_prediction import (
+        FEATURE_FAMILIES,
+        REGRESSOR_NAMES,
+        RankPredictionExperiment,
+        RankTaskConfig,
+    )
+    from repro.experiments.reporting import render_figure3, render_table1
+
+    families = tuple(_csv(args.families)) if args.families else FEATURE_FAMILIES
+    regressors = tuple(_csv(args.regressors)) if args.regressors else REGRESSOR_NAMES
+    mag_config = MagConfig(
+        num_institutions=args.institutions,
+        authors_per_institution=args.authors,
+        papers_per_conference_year=args.papers,
+        seed=args.seed + 7,
+    )
+    conferences = tuple(_csv(args.conferences)) if args.conferences else None
+    task = RankTaskConfig(
+        train_years=tuple(_csv(args.train_years, int)),
+        test_year=args.test_year,
+        conferences=conferences,
+        emax=args.emax,
+        forest_trees=args.trees,
+        seed=args.seed,
+    )
+    telemetry = get_telemetry()
+    with telemetry.span("phase/build_world"):
+        mag = SyntheticMAG(mag_config)
+    logger.info(
+        "rank world: %d institutions, %d conferences, years %d-%d",
+        mag_config.num_institutions,
+        len(conferences or mag.config.conferences),
+        min(task.train_years),
+        task.test_year,
+    )
+    experiment = RankPredictionExperiment(mag, task)
+    result = experiment.run(families=families, regressors=regressors)
+    print(render_table1(result, families=families))
+    if args.per_conference:
+        print()
+        print(render_figure3(result, families=families))
+    return 0
+
+
+def cmd_label(args) -> int:
+    from repro.experiments.label_prediction import (
+        FEATURE_TYPES,
+        LabelPredictionExperiment,
+        LabelTaskConfig,
+    )
+    from repro.experiments.reporting import render_sweep
+
+    graph = _load_graph(args.graph)
+    features = tuple(_csv(args.features)) if args.features else FEATURE_TYPES
+    config = LabelTaskConfig(
+        per_label=args.per_label,
+        emax=args.emax,
+        dmax_percentile=args.dmax_percentile,
+        train_fractions=tuple(_csv(args.fractions, float)),
+        removal_fractions=tuple(_csv(args.removal_fractions, float)),
+        n_repeats=args.repeats,
+        seed=args.seed,
+    )
+    experiment = LabelPredictionExperiment(graph, config)
+    logger.info(
+        "label task: %d sampled roots over %d labels, mode=%s",
+        len(experiment.nodes),
+        len(graph.labelset),
+        args.mode,
+    )
+    telemetry = get_telemetry()
+    if args.mode == "removal":
+        with telemetry.span("phase/label_removal"):
+            sweep = experiment.run_label_removal(features=features)
+        title = "Figure 5D-F: macro-F1 vs removed label fraction"
+    else:
+        with telemetry.span("phase/label_sweep"):
+            sweep = experiment.run_training_sweep(features=features)
+        title = "Figure 5A-C: macro-F1 vs training fraction"
+    print(render_sweep(title, sweep))
     return 0
 
 
@@ -223,12 +344,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def common_args(p, telemetry: bool = True):
+        add_logging_args(p)
+        if telemetry:
+            p.add_argument(
+                "--telemetry-out",
+                default=None,
+                metavar="PATH",
+                help="write a JSON run manifest (see docs/observability.md)",
+            )
+
     p_info = sub.add_parser("info", help="summarise a graph file")
     p_info.add_argument("graph")
+    common_args(p_info, telemetry=False)
     p_info.set_defaults(func=cmd_info)
 
     p_conn = sub.add_parser("connectivity", help="print the label connectivity graph")
     p_conn.add_argument("graph")
+    common_args(p_conn, telemetry=False)
     p_conn.set_defaults(func=cmd_connectivity)
 
     def census_args(p):
@@ -250,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="pickle file memoising per-root censuses across runs",
         )
+        common_args(p)
 
     p_census = sub.add_parser("census", help="rooted census around one node")
     census_args(p_census)
@@ -281,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for corpus generation",
         )
         p.add_argument("--seed", type=int, default=0, help="rng seed")
+        common_args(p)
 
     p_embed = sub.add_parser("embed", help="train an embedding baseline")
     p_embed.add_argument("graph")
@@ -322,8 +457,75 @@ def build_parser() -> argparse.ArgumentParser:
         default="fast",
         help="embedding hyper-parameter preset",
     )
+    p_runtime.add_argument(
+        "--census-cache",
+        default=None,
+        metavar="PATH",
+        help="serve cached roots (their rows time the memoised lookup)",
+    )
     pipeline_args(p_runtime)
     p_runtime.set_defaults(func=cmd_runtime)
+
+    p_rank = sub.add_parser(
+        "rank", help="Table-1 style rank prediction on a synthetic MAG world"
+    )
+    p_rank.add_argument(
+        "--conferences", default=None, help="comma-separated subset (default: all)"
+    )
+    p_rank.add_argument(
+        "--families", default=None, help="feature families (default: all)"
+    )
+    p_rank.add_argument(
+        "--regressors", default=None, help="regressors (default: all)"
+    )
+    p_rank.add_argument(
+        "--train-years",
+        default="2011,2012,2013,2014",
+        help="comma-separated training sample years",
+    )
+    p_rank.add_argument("--test-year", type=int, default=2015)
+    p_rank.add_argument("--emax", type=int, default=3, help="max subgraph edges")
+    p_rank.add_argument("--trees", type=int, default=150, help="random forest size")
+    p_rank.add_argument(
+        "--institutions", type=int, default=60, help="synthetic world size"
+    )
+    p_rank.add_argument("--authors", type=int, default=8, help="authors/institution")
+    p_rank.add_argument("--papers", type=int, default=70, help="papers/conference-year")
+    p_rank.add_argument(
+        "--per-conference",
+        action="store_true",
+        help="also print the Figure-3 per-conference grids",
+    )
+    p_rank.add_argument("--seed", type=int, default=0, help="rng seed")
+    common_args(p_rank)
+    p_rank.set_defaults(func=cmd_rank)
+
+    p_label = sub.add_parser(
+        "label", help="Figure-5 style label prediction on a graph file"
+    )
+    p_label.add_argument("graph")
+    p_label.add_argument(
+        "--mode",
+        choices=("sweep", "removal"),
+        default="sweep",
+        help="training-size sweep (5A-C) or label removal (5D-F)",
+    )
+    p_label.add_argument("--per-label", type=int, default=40)
+    p_label.add_argument("--emax", type=int, default=3, help="max subgraph edges")
+    p_label.add_argument("--dmax-percentile", type=float, default=90.0)
+    p_label.add_argument(
+        "--features", default=None, help="feature types (default: all)"
+    )
+    p_label.add_argument(
+        "--fractions", default="0.1,0.3,0.5,0.7,0.9", help="training fractions"
+    )
+    p_label.add_argument(
+        "--removal-fractions", default="0.0,0.25,0.5,0.75", help="removal fractions"
+    )
+    p_label.add_argument("--repeats", type=int, default=10, help="splits per point")
+    p_label.add_argument("--seed", type=int, default=0, help="rng seed")
+    common_args(p_label)
+    p_label.set_defaults(func=cmd_label)
 
     p_coll = sub.add_parser("collisions", help="enumerate encoding collisions")
     p_coll.add_argument("--labels", type=int, default=2)
@@ -335,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_coll.add_argument("--first", action="store_true", help="stop at first collision")
     p_coll.add_argument("--show", type=int, default=3, help="collisions to print")
+    common_args(p_coll, telemetry=False)
     p_coll.set_defaults(func=cmd_collisions)
 
     return parser
@@ -343,7 +546,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(args.log_level, args.verbosity)
+    with fresh_telemetry() as telemetry:
+        with telemetry.span("phase/total"):
+            code = args.func(args)
+        if getattr(args, "telemetry_out", None):
+            config = {
+                key: value
+                for key, value in vars(args).items()
+                if key not in ("func", "verbosity")
+            }
+            write_manifest(args.telemetry_out, args.command, config=config)
+        if args.verbosity > 0:
+            from repro.experiments.reporting import render_telemetry
+
+            logger.debug("%s", render_telemetry(telemetry))
+    return code
 
 
 if __name__ == "__main__":

@@ -11,22 +11,36 @@ Entries are keyed by a content *fingerprint* of the graph (see
 config and the root index, so a cache file can be shared between runs
 and never serves stale counts after the graph or parameters change —
 a different graph or config simply misses.
+
+Durability: :meth:`CensusCache.save` writes to a temp file in the target
+directory and atomically ``os.replace``\\ s it over the destination, so a
+crash mid-save (including ``kill -9``) can never corrupt an existing
+cache file — at worst it leaves a stray ``*.tmp`` sibling.  A file that
+fails to load (corrupt bytes, old format version) is reported through
+``logging`` and :attr:`CensusCache.load_status` instead of silently
+looking like an empty cache.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import tempfile
 from collections import Counter
 from pathlib import Path
 
 from repro.core.census import CensusConfig
 from repro.core.graph import HeteroGraph
+from repro.obs.log import get_logger
+from repro.obs.telemetry import get_telemetry
 
 #: Bumped whenever the on-disk layout changes; mismatching files are
 #: ignored rather than risking unpickling into the wrong shape.
 _FORMAT_VERSION = 1
 
 CacheKey = tuple[str, tuple, int]
+
+logger = get_logger(__name__)
 
 
 def census_cache_key(
@@ -58,28 +72,63 @@ class CensusCache:
     ----------
     path:
         Optional file backing the cache.  When given, existing entries
-        are loaded eagerly (a missing or unreadable file starts empty)
-        and :meth:`save` writes the current contents back.
+        are loaded eagerly and :meth:`save` writes the current contents
+        back (atomically).  :attr:`load_status` records how the eager
+        load went: ``None`` (no path), ``"missing"`` (no file yet),
+        ``"loaded"``, ``"corrupt"``, or ``"version-mismatch"``.
+    max_entries:
+        Optional bound on the number of retained entries; inserting
+        beyond it evicts the oldest entries (FIFO).  ``None`` (default)
+        never evicts.
 
     The cache stores defensive copies on both :meth:`get` and
     :meth:`put` so callers mutating a returned ``Counter`` cannot
-    corrupt later hits.
+    corrupt later hits.  Loads, saves, and evictions are counted in the
+    run telemetry (see :mod:`repro.obs`).
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_entries: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.path = Path(path) if path is not None else None
+        self.max_entries = max_entries
         self._entries: dict[CacheKey, Counter] = {}
         self.hits = 0
         self.misses = 0
-        if self.path is not None and self.path.exists():
-            self._load(self.path)
+        self.evictions = 0
+        self.load_status: str | None = None
+        if self.path is not None:
+            if self.path.exists():
+                self._load(self.path)
+            else:
+                self.load_status = "missing"
+                get_telemetry().annotate("cache/load_status", self.load_status)
 
     # -- persistence ------------------------------------------------------
     def _load(self, path: Path) -> None:
+        telemetry = get_telemetry()
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        # Corrupt bytes surface from pickle as almost any exception type
+        # (the docs name UnpicklingError, AttributeError, EOFError,
+        # ImportError, and IndexError; garbage opcodes also raise
+        # ValueError/KeyError), so treat every failure as a corrupt file.
+        except Exception as exc:
+            self.load_status = "corrupt"
+            telemetry.count("cache/load_corrupt")
+            telemetry.annotate("cache/load_status", self.load_status)
+            logger.warning(
+                "census cache %s is unreadable (%s: %s); starting empty "
+                "— the next save() will replace it",
+                path,
+                type(exc).__name__,
+                exc,
+            )
             return
         if (
             isinstance(payload, dict)
@@ -87,15 +136,48 @@ class CensusCache:
             and isinstance(payload.get("entries"), dict)
         ):
             self._entries.update(payload["entries"])
+            self.load_status = "loaded"
+            telemetry.count("cache/loads")
+            telemetry.count("cache/load_entries", len(payload["entries"]))
+        else:
+            found = payload.get("version") if isinstance(payload, dict) else None
+            self.load_status = "version-mismatch"
+            telemetry.count("cache/load_version_mismatch")
+            logger.warning(
+                "census cache %s has format version %r (expected %d); "
+                "ignoring its contents — the next save() will upgrade it",
+                path,
+                found,
+                _FORMAT_VERSION,
+            )
+        telemetry.annotate("cache/load_status", self.load_status)
 
     def save(self, path: str | Path | None = None) -> Path:
-        """Write the cache to ``path`` (defaults to the constructor path)."""
+        """Atomically write the cache to ``path`` (default: constructor path).
+
+        The payload is written to a temp file in the destination
+        directory and moved into place with :func:`os.replace`, so an
+        interrupted save never clobbers the previous on-disk contents; a
+        crash can only leave a stray temp file behind.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("CensusCache has no path; pass one to save()")
         payload = {"version": _FORMAT_VERSION, "entries": self._entries}
-        with open(target, "wb") as fh:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent or Path("."), prefix=f"{target.name}.", suffix=".tmp"
+        )
+        with os.fdopen(fd, "wb") as fh:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+        telemetry = get_telemetry()
+        telemetry.count("cache/saves")
+        telemetry.count("cache/save_entries", len(self._entries))
+        logger.debug(
+            "census cache saved: %d entries -> %s", len(self._entries), target
+        )
         return target
 
     # -- memoisation ------------------------------------------------------
@@ -117,8 +199,24 @@ class CensusCache:
         root: int,
         census: Counter,
     ) -> None:
-        """Store the census for ``root`` (overwrites any existing entry)."""
-        self._entries[census_cache_key(graph, config, root)] = Counter(census)
+        """Store the census for ``root`` (overwrites any existing entry).
+
+        When ``max_entries`` is set, inserting a novel key beyond the
+        bound evicts the oldest entries first (dict insertion order).
+        """
+        key = census_cache_key(graph, config, root)
+        if (
+            self.max_entries is not None
+            and key not in self._entries
+            and len(self._entries) >= self.max_entries
+        ):
+            evicted = 0
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+                evicted += 1
+            self.evictions += evicted
+            get_telemetry().count("cache/evictions", evicted)
+        self._entries[key] = Counter(census)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -130,6 +228,7 @@ class CensusCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -36,6 +36,7 @@ from repro.core.graph import HeteroGraph
 from repro.core.hashing import RollingSubgraphHash
 from repro.core.labels import LabelSet
 from repro.exceptions import CensusError
+from repro.obs.telemetry import get_telemetry
 
 Edge = tuple[int, int]
 KeyMode = Literal["canonical", "string", "hash"]
@@ -777,10 +778,17 @@ def subgraph_census(
     if not 0 <= root < graph.num_nodes:
         raise CensusError(f"root index {root} out of range")
     if engine == "fast":
-        return _FastCensusRun(graph, root, config).run()
-    if engine == "reference":
-        return _CensusRun(graph, root, config).run()
-    raise CensusError(f"unknown census engine {engine!r}")
+        counts = _FastCensusRun(graph, root, config).run()
+    elif engine == "reference":
+        counts = _CensusRun(graph, root, config).run()
+    else:
+        raise CensusError(f"unknown census engine {engine!r}")
+    # Coarse per-call accounting only — the enumeration inner loop stays
+    # untouched so the engine perf gates keep measuring real work.
+    telemetry = get_telemetry()
+    telemetry.count("census/calls")
+    telemetry.count("census/subgraphs", sum(counts.values()))
+    return counts
 
 
 def census_total(counts: Counter) -> int:

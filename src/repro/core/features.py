@@ -26,6 +26,7 @@ from repro.core.cache import CensusCache
 from repro.core.census import CensusConfig, subgraph_census
 from repro.core.graph import HeteroGraph
 from repro.exceptions import FeatureError
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 
 class FeatureSpace:
@@ -167,8 +168,23 @@ def _init_census_worker(graph: HeteroGraph, config: CensusConfig) -> None:
     _WORKER_STATE["config"] = config
 
 
-def _census_worker(root: int) -> Counter:
-    return subgraph_census(_WORKER_STATE["graph"], root, _WORKER_STATE["config"])
+def _census_chunk_worker(chunk: list[int]) -> tuple[list[Counter], dict]:
+    """Census one chunk of roots; ship results plus worker telemetry.
+
+    The worker records per-root and per-chunk timing into its own local
+    :class:`~repro.obs.telemetry.Telemetry` and returns the picklable
+    snapshot alongside the counters, so the dispatching parent can merge
+    the stats that would otherwise die with the pool.
+    """
+    graph = _WORKER_STATE["graph"]
+    config = _WORKER_STATE["config"]
+    telemetry = Telemetry()
+    censuses = []
+    with telemetry.span("census/chunk"):
+        for root in chunk:
+            with telemetry.span("census/root"):
+                censuses.append(subgraph_census(graph, root, config))
+    return censuses, telemetry.snapshot()
 
 
 class SubgraphFeatureExtractor:
@@ -204,55 +220,84 @@ class SubgraphFeatureExtractor:
     def census_many(self, graph: HeteroGraph, nodes: Sequence[int]) -> list[Counter]:
         """Run the rooted census for every node in ``nodes``.
 
-        Results align with ``nodes`` positionally.  Parallel runs schedule
-        roots in descending-degree order — hub censuses dominate the wall
-        clock (the paper's Table 3 outlier columns), so starting them
-        first keeps the stragglers from serialising the tail — and the
-        original order is restored before returning.  The pool is skipped
-        entirely when there is too little work to amortise its startup
-        (``nodes`` empty, or fewer pending roots than workers).
+        Results align with ``nodes`` positionally.  Duplicate roots are
+        censused once and fanned out to every occurrence (the saving is
+        counted as ``census/dedup_saved`` in the run telemetry).  Parallel
+        runs schedule roots in descending-degree order — hub censuses
+        dominate the wall clock (the paper's Table 3 outlier columns), so
+        starting them first keeps the stragglers from serialising the
+        tail — and the original order is restored before returning.  The
+        pool is skipped entirely when there is too little work to
+        amortise its startup (``nodes`` empty, or fewer pending roots
+        than workers); worker-side timing is merged back into the
+        parent's telemetry either way.
         """
         config = self.config
         cache = self.cache
-        order = [(pos, int(node)) for pos, node in enumerate(nodes)]
-        results: list[Counter | None] = [None] * len(order)
+        telemetry = get_telemetry()
+        # node -> positions in the output; computing per *unique* node is
+        # the dedup bugfix: duplicates used to miss the cache once per
+        # occurrence because every get() ran before any put().
+        positions: dict[int, list[int]] = {}
+        for pos, node in enumerate(nodes):
+            positions.setdefault(int(node), []).append(pos)
+        results: list[Counter | None] = [None] * len(nodes)
+        duplicates = len(results) - len(positions)
+        telemetry.count("census/requested", len(results))
+        if duplicates:
+            telemetry.count("census/dedup_saved", duplicates)
+        computed: dict[int, Counter] = {}
         if cache is not None:
             pending = []
-            for pos, node in order:
+            for node in positions:
                 hit = cache.get(graph, config, node)
                 if hit is None:
-                    pending.append((pos, node))
+                    pending.append(node)
                 else:
-                    results[pos] = hit
+                    computed[node] = hit
+            telemetry.count("census/cache_hits", len(positions) - len(pending))
+            telemetry.count("census/cache_misses", len(pending))
         else:
-            pending = order
+            pending = list(positions)
         if pending:
             if self.n_jobs == 1 or len(pending) < self.n_jobs:
-                for pos, node in pending:
-                    results[pos] = subgraph_census(graph, node, config)
+                with telemetry.span("census/chunk"):
+                    for node in pending:
+                        with telemetry.span("census/root"):
+                            computed[node] = subgraph_census(graph, node, config)
             else:
                 degrees = graph.flat().degrees
                 pending = sorted(
-                    pending, key=lambda item: degrees[item[1]], reverse=True
+                    pending, key=lambda node: degrees[node], reverse=True
                 )
                 # ~4 chunks per worker balances scheduling overhead
                 # against load skew from uneven per-root cost.
                 chunksize = max(1, len(pending) // (self.n_jobs * 4))
+                chunks = [
+                    pending[start: start + chunksize]
+                    for start in range(0, len(pending), chunksize)
+                ]
                 with ProcessPoolExecutor(
                     max_workers=self.n_jobs,
                     initializer=_init_census_worker,
                     initargs=(graph, config),
                 ) as pool:
-                    censuses = pool.map(
-                        _census_worker,
-                        [node for _, node in pending],
-                        chunksize=chunksize,
-                    )
-                    for (pos, _), census in zip(pending, censuses):
-                        results[pos] = census
+                    for chunk, (censuses, snapshot) in zip(
+                        chunks, pool.map(_census_chunk_worker, chunks)
+                    ):
+                        for node, census in zip(chunk, censuses):
+                            computed[node] = census
+                        telemetry.merge(snapshot)
             if cache is not None:
-                for pos, node in pending:
-                    cache.put(graph, config, node, results[pos])
+                for node in pending:
+                    cache.put(graph, config, node, computed[node])
+        for node, node_positions in positions.items():
+            census = computed[node]
+            results[node_positions[0]] = census
+            for pos in node_positions[1:]:
+                # Fan out copies so callers mutating one row cannot
+                # corrupt its duplicates.
+                results[pos] = Counter(census)
         return results
 
     def fit_transform(self, graph: HeteroGraph, nodes: Sequence[int]) -> SubgraphFeatures:

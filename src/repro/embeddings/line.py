@@ -25,6 +25,7 @@ keeps the per-edge formulation.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Literal
 
@@ -32,6 +33,7 @@ import numpy as np
 
 from repro.core.graph import HeteroGraph
 from repro.embeddings.alias import AliasTable
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 LineEngine = Literal["fast", "reference"]
 
@@ -64,8 +66,15 @@ def _train_order(
     learning_rate: float,
     batch_size: int,
     engine: LineEngine,
-) -> np.ndarray:
-    """One LINE order, self-contained so a worker process can run it."""
+) -> tuple[np.ndarray, dict]:
+    """One LINE order, self-contained so a worker process can run it.
+
+    Returns the trained vertex matrix plus a picklable telemetry
+    snapshot (per-order timing and sample counts), recorded locally so
+    the stats survive the trip back from a worker process.
+    """
+    telemetry = Telemetry()
+    order_name = "second" if second_order else "first"
     scale = 0.5 / dim
     vertex = rng.uniform(-scale, scale, size=(num_nodes, dim))
     if engine == "fast":
@@ -76,6 +85,7 @@ def _train_order(
     pool = min(max(8 * negative, 64), noise.size)
 
     steps = max(1, samples // batch_size)
+    started = time.perf_counter()
     for step in range(steps):
         lr = learning_rate * max(1.0 - step / steps, 1e-4)
         batch_edges = directed[edge_table.sample(rng, batch_size)]
@@ -128,10 +138,12 @@ def _train_order(
             np.add.at(vertex, sources, -lr * grad_source)
             np.add.at(context, targets, -lr * grad_target)
             np.add.at(context, negatives.ravel(), -lr * grad_negative.reshape(-1, dim))
-    return vertex.astype(np.float64, copy=False)
+    telemetry.timer(f"line/order_{order_name}", time.perf_counter() - started)
+    telemetry.count("line/samples", steps * batch_size)
+    return vertex.astype(np.float64, copy=False), telemetry.snapshot()
 
 
-def _order_worker(args) -> np.ndarray:
+def _order_worker(args) -> tuple[np.ndarray, dict]:
     return _train_order(*args)
 
 
@@ -217,9 +229,17 @@ class LINE:
         ]
         if self.n_jobs >= 2:
             with ProcessPoolExecutor(max_workers=2) as executor:
-                first, second = list(executor.map(_order_worker, tasks))
+                (first, first_stats), (second, second_stats) = list(
+                    executor.map(_order_worker, tasks)
+                )
         else:
-            first, second = (_train_order(*task) for task in tasks)
+            first, first_stats = _train_order(*tasks[0])
+            second, second_stats = _train_order(*tasks[1])
+        # Orders record into local registries (they may run in worker
+        # processes); merging here makes n_jobs transparent to telemetry.
+        telemetry = get_telemetry()
+        telemetry.merge(first_stats)
+        telemetry.merge(second_stats)
         self.embedding_ = np.hstack([first, second])
         return self
 

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.embeddings.alias import AliasTable
 from repro.embeddings.walks import walk_node_frequencies
+from repro.obs.telemetry import get_telemetry
 
 TrainerEngine = Literal["fast", "reference"]
 
@@ -187,8 +188,11 @@ class SkipGramTrainer:
 
     def fit(self, walks, num_nodes: int) -> np.ndarray:
         """Train and return the input-embedding matrix ``(num_nodes, dim)``."""
+        telemetry = get_telemetry()
         rng = np.random.default_rng(self.seed)
-        pairs = walks_to_pairs(walks, self.window, rng, engine=self.engine)
+        with telemetry.span("sgns/pairs_extract"):
+            pairs = walks_to_pairs(walks, self.window, rng, engine=self.engine)
+        telemetry.count("sgns/pairs", pairs.shape[0])
         if pairs.shape[0] == 0:
             raise ValueError("walk corpus produced no training pairs")
         frequencies = walk_node_frequencies(walks, num_nodes)
@@ -211,14 +215,16 @@ class SkipGramTrainer:
         total_steps = self.epochs * ((pairs.shape[0] + self.batch_size - 1) // self.batch_size)
         step = 0
         for _ in range(self.epochs):
-            order = rng.permutation(pairs.shape[0])
-            for start in range(0, pairs.shape[0], self.batch_size):
-                batch = pairs[order[start: start + self.batch_size]]
-                lr = self.learning_rate * max(
-                    1.0 - step / max(total_steps, 1), 1e-4
-                )
-                step_fn(batch, input_vectors, output_vectors, noise, rng, lr)
-                step += 1
+            with telemetry.span("sgns/epoch"):
+                order = rng.permutation(pairs.shape[0])
+                for start in range(0, pairs.shape[0], self.batch_size):
+                    batch = pairs[order[start: start + self.batch_size]]
+                    lr = self.learning_rate * max(
+                        1.0 - step / max(total_steps, 1), 1e-4
+                    )
+                    step_fn(batch, input_vectors, output_vectors, noise, rng, lr)
+                    step += 1
+            telemetry.count("sgns/pairs_trained", pairs.shape[0])
         return input_vectors.astype(np.float64, copy=False)
 
     def _sgd_step(

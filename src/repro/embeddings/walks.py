@@ -43,6 +43,7 @@ from typing import Literal
 import numpy as np
 
 from repro.core.graph import HeteroGraph
+from repro.obs.telemetry import Telemetry, get_telemetry
 
 WalkEngine = Literal["fast", "reference"]
 
@@ -286,11 +287,23 @@ def _init_walk_worker(graph, starts, walk_length, p, q, engine) -> None:
     _WALK_STATE["args"] = (starts, walk_length, p, q, engine)
 
 
-def _epoch_worker(rng: np.random.Generator) -> np.ndarray:
+def _epoch_worker(rng: np.random.Generator) -> tuple[np.ndarray, dict]:
+    """Run one epoch in a worker; ship the block plus worker telemetry."""
     starts, walk_length, p, q, engine = _WALK_STATE["args"]
-    return _walk_epoch(
-        _WALK_STATE["graph"], _WALK_STATE["csr"], starts, walk_length, p, q, engine, rng
-    )
+    telemetry = Telemetry()
+    with telemetry.span("walks/epoch"):
+        block = _walk_epoch(
+            _WALK_STATE["graph"],
+            _WALK_STATE["csr"],
+            starts,
+            walk_length,
+            p,
+            q,
+            engine,
+            rng,
+        )
+    telemetry.count("walks/generated", block.shape[0])
+    return block, telemetry.snapshot()
 
 
 def _run_walks(
@@ -312,20 +325,24 @@ def _run_walks(
     corpus = np.full((num_walks * span, walk_length), -1, dtype=np.int64)
     if span == 0:
         return corpus
+    telemetry = get_telemetry()
     if min(n_jobs, num_walks) <= 1:
         csr = _WalkCSR.from_graph(graph) if engine == "fast" else None
         for epoch, rng in enumerate(rngs):
-            corpus[epoch * span: (epoch + 1) * span] = _walk_epoch(
-                graph, csr, starts, walk_length, p, q, engine, rng
-            )
+            with telemetry.span("walks/epoch"):
+                corpus[epoch * span: (epoch + 1) * span] = _walk_epoch(
+                    graph, csr, starts, walk_length, p, q, engine, rng
+                )
+            telemetry.count("walks/generated", span)
         return corpus
     with ProcessPoolExecutor(
         max_workers=min(n_jobs, num_walks),
         initializer=_init_walk_worker,
         initargs=(graph, starts, walk_length, p, q, engine),
     ) as pool:
-        for epoch, block in enumerate(pool.map(_epoch_worker, rngs)):
+        for epoch, (block, snapshot) in enumerate(pool.map(_epoch_worker, rngs)):
             corpus[epoch * span: (epoch + 1) * span] = block
+            telemetry.merge(snapshot)
     return corpus
 
 

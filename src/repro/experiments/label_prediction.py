@@ -34,6 +34,7 @@ from repro.experiments.common import (
 )
 from repro.ml import StandardScaler, macro_f1, train_test_split, tune_regularization
 from repro.ml.preprocessing import log1p_counts
+from repro.obs.telemetry import get_telemetry
 
 FEATURE_TYPES = ("subgraph", *EMBEDDING_METHODS)
 
@@ -161,20 +162,22 @@ class LabelPredictionExperiment:
             max_subgraphs=max_subgraphs,
         )
         extractor = SubgraphFeatureExtractor(census_config)
-        censuses = extractor.census_many(graph, self.nodes)
-        space = FeatureSpace().fit(censuses)
-        return log1p_counts(space.to_matrix(censuses))
+        with get_telemetry().span("phase/label_features_subgraph"):
+            censuses = extractor.census_many(graph, self.nodes)
+            space = FeatureSpace().fit(censuses)
+            return log1p_counts(space.to_matrix(censuses))
 
     def embedding_features(self, method: str) -> np.ndarray:
         """Embedding rows for the sampled nodes (cached: structure-only)."""
         if method not in self._embedding_cache:
-            self._embedding_cache[method] = embedding_matrix(
-                self.graph,
-                self.nodes,
-                method,
-                self.config.embedding_params,
-                seed=self.config.seed,
-            )
+            with get_telemetry().span(f"phase/label_features_{method}"):
+                self._embedding_cache[method] = embedding_matrix(
+                    self.graph,
+                    self.nodes,
+                    method,
+                    self.config.embedding_params,
+                    seed=self.config.seed,
+                )
         return self._embedding_cache[method]
 
     def feature_matrix(self, feature: str) -> np.ndarray:
@@ -190,27 +193,33 @@ class LabelPredictionExperiment:
     def _score_splits(
         self, X: np.ndarray, train_fraction: float, rng: np.random.Generator
     ) -> list[float]:
-        """Macro-F1 over ``n_repeats`` random stratified splits."""
+        """Macro-F1 over ``n_repeats`` random stratified splits.
+
+        Each fold is timed into the ``label/fold`` telemetry timer, so a
+        sweep's manifest shows where the scoring wall clock went.
+        """
         cfg = self.config
+        telemetry = get_telemetry()
         scores = []
         for _ in range(cfg.n_repeats):
-            split_seed = int(rng.integers(0, 2**31 - 1))
-            X_train, X_test, y_train, y_test = train_test_split(
-                X,
-                self.targets,
-                test_size=1.0 - train_fraction,
-                rng=split_seed,
-                stratify=self.targets,
-            )
-            scaler = StandardScaler().fit(X_train)
-            model = tune_regularization(
-                scaler.transform(X_train),
-                y_train,
-                grid=cfg.logreg_grid,
-                rng=split_seed,
-            )
-            predictions = model.predict(scaler.transform(X_test))
-            scores.append(macro_f1(y_test, predictions))
+            with telemetry.span("label/fold"):
+                split_seed = int(rng.integers(0, 2**31 - 1))
+                X_train, X_test, y_train, y_test = train_test_split(
+                    X,
+                    self.targets,
+                    test_size=1.0 - train_fraction,
+                    rng=split_seed,
+                    stratify=self.targets,
+                )
+                scaler = StandardScaler().fit(X_train)
+                model = tune_regularization(
+                    scaler.transform(X_train),
+                    y_train,
+                    grid=cfg.logreg_grid,
+                    rng=split_seed,
+                )
+                predictions = model.predict(scaler.transform(X_test))
+                scores.append(macro_f1(y_test, predictions))
         return scores
 
     def run_training_sweep(self, features=FEATURE_TYPES) -> SweepResult:

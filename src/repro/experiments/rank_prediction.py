@@ -19,7 +19,6 @@ The four predictive methods follow Section 4.2.3:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +37,7 @@ from repro.ml import (
     StandardScaler,
     ndcg_at,
 )
+from repro.obs.telemetry import get_telemetry
 
 FEATURE_FAMILIES = ("classic", "subgraph", "combined", "node2vec", "deepwalk", "line")
 REGRESSOR_NAMES = ("LinRegr", "DecTree", "RanForest", "BayRidge")
@@ -74,7 +74,13 @@ class RankTaskConfig:
 
 @dataclass
 class RankPredictionResult:
-    """NDCG scores per (regressor, feature family, conference)."""
+    """NDCG scores per (regressor, feature family, conference).
+
+    ``timings`` keeps the per-cell feature wall clock
+    (``features/{family}/{conference}``) for existing consumers; the
+    same measurements also land in the run telemetry under
+    ``rank/features/{family}`` and ``phase/rank_{family}``.
+    """
 
     config: RankTaskConfig
     ndcg: dict[tuple[str, str, str], float]
@@ -264,20 +270,25 @@ class RankPredictionExperiment:
     ) -> RankPredictionResult:
         """Run the full grid and collect NDCG\\@n per cell."""
         cfg = self.config
+        telemetry = get_telemetry()
         conferences = cfg.conferences or self.mag.config.conferences
         ndcg: dict[tuple[str, str, str], float] = {}
         timings: dict[str, float] = {}
         for conference in conferences:
             for family in families:
-                started = time.perf_counter()
-                by_year = self.feature_family(conference, family)
-                timings[f"features/{family}/{conference}"] = time.perf_counter() - started
-                X_train, y_train = self._stack_training(conference, by_year)
-                X_test = by_year[cfg.test_year]
-                y_test = self._targets(conference, cfg.test_year)
-                for regressor in regressors:
-                    predictions = self._fit_predict(regressor, X_train, y_train, X_test)
-                    ndcg[(regressor, family, conference)] = ndcg_at(
-                        y_test, predictions, n=cfg.ndcg_n
-                    )
+                with telemetry.span("phase/rank_" + family):
+                    with telemetry.span(f"rank/features/{family}") as span:
+                        by_year = self.feature_family(conference, family)
+                    timings[f"features/{family}/{conference}"] = span.elapsed
+                    X_train, y_train = self._stack_training(conference, by_year)
+                    X_test = by_year[cfg.test_year]
+                    y_test = self._targets(conference, cfg.test_year)
+                    for regressor in regressors:
+                        with telemetry.span(f"rank/fit/{regressor}"):
+                            predictions = self._fit_predict(
+                                regressor, X_train, y_train, X_test
+                            )
+                        ndcg[(regressor, family, conference)] = ndcg_at(
+                            y_test, predictions, n=cfg.ndcg_n
+                        )
         return RankPredictionResult(cfg, ndcg, timings)

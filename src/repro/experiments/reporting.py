@@ -99,3 +99,31 @@ def render_sweep(title: str, sweep, x_format: str = "{:.0%}") -> str:
     for feature in sweep.features():
         rows.append((feature, [sweep.mean(feature, x) for x in xs]))
     return render_table(title, [x_format.format(x) for x in xs], rows)
+
+
+def render_telemetry(telemetry=None) -> str:
+    """Human-readable dump of a run's telemetry registry.
+
+    Counters and gauges as ``name = value`` lines, timers as a
+    count/total/mean/max table — the CLI logs this at debug level after
+    every command, and it mirrors what ``--telemetry-out`` writes as JSON.
+    """
+    from repro.obs.telemetry import get_telemetry
+
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    data = telemetry.as_dict()
+    lines = ["telemetry:"]
+    for section in ("counters", "gauges", "annotations"):
+        for name in sorted(data[section]):
+            lines.append(f"  {name} = {data[section][name]}")
+    if data["timers"]:
+        lines.append(
+            f"  {'timer':<32} {'count':>7} {'total':>10} {'mean':>10} {'max':>10}"
+        )
+        for name in sorted(data["timers"]):
+            stat = data["timers"][name]
+            lines.append(
+                f"  {name:<32} {stat['count']:>7} {stat['total_sec']:>10.4f} "
+                f"{stat['mean_sec']:>10.4f} {stat['max_sec']:>10.4f}"
+            )
+    return "\n".join(lines)

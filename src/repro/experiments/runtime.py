@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.cache import CensusCache
 from repro.core.census import CensusConfig, EngineMode, subgraph_census
 from repro.core.graph import HeteroGraph
 from repro.experiments.common import (
@@ -22,6 +23,7 @@ from repro.experiments.common import (
     embedding_matrix,
     percentile_degree,
 )
+from repro.obs.telemetry import get_telemetry
 
 
 @dataclass
@@ -54,7 +56,10 @@ class RuntimeReport:
             f"{self.census_max:9.4f}",
         ]
         for method in EMBEDDING_METHODS:
-            cells.append(f"{self.embedding_mean[method]:9.5f}")
+            # Partial or failed runs legitimately lack methods; a missing
+            # column must not crash the whole Table 3 report.
+            mean = self.embedding_mean.get(method)
+            cells.append(f"{mean:9.5f}" if mean is not None else f"{'n/a':>9}")
         cells.append(
             f"[engine={self.embedding_engine}, n_jobs={self.embedding_n_jobs}]"
         )
@@ -68,23 +73,39 @@ def time_census_per_node(
     dmax_percentile: float = 90.0,
     mask_start_label: bool = True,
     engine: EngineMode = "fast",
+    cache: CensusCache | None = None,
 ) -> np.ndarray:
     """Wall-clock seconds of the rooted census for each node.
 
     ``engine`` selects the census implementation so the report can
     compare the incremental engine against the reference path on the
-    same roots (the perf benchmarks do exactly that).
+    same roots (the perf benchmarks do exactly that).  When ``cache`` is
+    given, cached roots are served (and counted as hits) — their rows
+    then time the lookup, i.e. the *memoised* runtime — and fresh
+    censuses are written back.  Per-root timing also lands in the
+    ``census/root_timed`` telemetry timer.
     """
     dmax = percentile_degree(graph, dmax_percentile)
     config = CensusConfig(
         max_edges=emax, max_degree=dmax, mask_start_label=mask_start_label
     )
+    telemetry = get_telemetry()
+    telemetry.annotate("census/engine", engine)
     graph.flat()  # warm the adjacency snapshot outside the timed region
     times = np.empty(len(nodes))
     for i, node in enumerate(nodes):
+        node = int(node)
         started = time.perf_counter()
-        subgraph_census(graph, int(node), config, engine=engine)
+        counts = cache.get(graph, config, node) if cache is not None else None
+        if counts is None:
+            counts = subgraph_census(graph, node, config, engine=engine)
+            if cache is not None:
+                cache.put(graph, config, node, counts)
+                telemetry.count("census/cache_misses")
+        elif cache is not None:
+            telemetry.count("census/cache_hits")
         times[i] = time.perf_counter() - started
+        telemetry.timer("census/root_timed", times[i])
     return times
 
 
@@ -100,12 +121,16 @@ def time_embeddings_per_node(
     ``engine`` and ``n_jobs`` select the pipeline being timed; the report
     row records them so runs with different pipelines stay comparable.
     """
+    telemetry = get_telemetry()
+    telemetry.annotate("embed/engine", engine)
     per_node = {}
     probe = [0]
     for method in EMBEDDING_METHODS:
-        started = time.perf_counter()
-        embedding_matrix(graph, probe, method, params, seed=seed, engine=engine, n_jobs=n_jobs)
-        per_node[method] = (time.perf_counter() - started) / graph.num_nodes
+        with telemetry.span(f"phase/embed_{method}") as span:
+            embedding_matrix(
+                graph, probe, method, params, seed=seed, engine=engine, n_jobs=n_jobs
+            )
+        per_node[method] = span.elapsed / graph.num_nodes
     return per_node
 
 
@@ -120,17 +145,25 @@ def runtime_report(
     engine: EngineMode = "fast",
     embedding_engine: str = "fast",
     embedding_n_jobs: int = 1,
+    census_cache: CensusCache | None = None,
 ) -> RuntimeReport:
     """Build one Table 3 row for a dataset.
 
     ``engine`` selects the census implementation, ``embedding_engine`` and
-    ``embedding_n_jobs`` the embedding pipeline; both are recorded.
+    ``embedding_n_jobs`` the embedding pipeline; both are recorded.  The
+    census and embedding phases land in the ``phase/*`` telemetry timers
+    the run manifest reports.
     """
-    times = time_census_per_node(graph, nodes, emax, dmax_percentile, engine=engine)
+    telemetry = get_telemetry()
+    with telemetry.span("phase/census"):
+        times = time_census_per_node(
+            graph, nodes, emax, dmax_percentile, engine=engine, cache=census_cache
+        )
     params = embedding_params if embedding_params is not None else EmbeddingParams.fast()
-    embedding_mean = time_embeddings_per_node(
-        graph, params, seed=seed, engine=embedding_engine, n_jobs=embedding_n_jobs
-    )
+    with telemetry.span("phase/embeddings"):
+        embedding_mean = time_embeddings_per_node(
+            graph, params, seed=seed, engine=embedding_engine, n_jobs=embedding_n_jobs
+        )
     return RuntimeReport(
         dataset=dataset,
         census_mean=float(times.mean()),

@@ -1,0 +1,26 @@
+"""Observability layer: run telemetry, logging wiring, JSON manifests.
+
+See ``docs/observability.md`` for the model and the manifest schema.
+"""
+
+from repro.obs.log import add_logging_args, configure_logging, get_logger
+from repro.obs.manifest import build_manifest, peak_rss_kb, write_manifest
+from repro.obs.telemetry import (
+    Telemetry,
+    TimerStat,
+    fresh_telemetry,
+    get_telemetry,
+)
+
+__all__ = [
+    "Telemetry",
+    "TimerStat",
+    "add_logging_args",
+    "build_manifest",
+    "configure_logging",
+    "fresh_telemetry",
+    "get_logger",
+    "get_telemetry",
+    "peak_rss_kb",
+    "write_manifest",
+]

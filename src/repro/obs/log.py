@@ -1,0 +1,109 @@
+"""Structured logging wiring for the ``repro`` namespace.
+
+All library diagnostics flow through ``logging`` under the ``repro.*``
+logger hierarchy — never bare ``print`` (a test enforces this for
+everything outside the CLI's table/report rendering).  The CLI calls
+:func:`configure_logging` once per invocation, honouring its
+``--log-level``/``-v`` flags; library use without configuration inherits
+the standard-library default (warnings and up to stderr).
+
+The handler resolves ``sys.stderr`` at *emit* time rather than capturing
+it at configure time, so test harnesses that swap the stream (pytest's
+``capsys``) observe the diagnostics exactly like a terminal user would.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the library's logger hierarchy.
+ROOT_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_handler: logging.Handler | None = None
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler bound to whatever ``sys.stderr`` currently is."""
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # the base class assigns; always re-resolve
+        pass
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass a module's ``__name__`` (already ``repro.*``) or a bare suffix
+    like ``"cli"``; no argument returns the hierarchy root.
+    """
+    if name is None:
+        return logging.getLogger(ROOT_NAME)
+    if not name.startswith(ROOT_NAME):
+        name = f"{ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def resolve_level(level: str | int) -> int:
+    """Translate a ``--log-level`` value into a :mod:`logging` constant."""
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+        ) from None
+
+
+def configure_logging(level: str | int = "info", verbosity: int = 0) -> logging.Logger:
+    """Attach (once) the stderr handler and set the hierarchy level.
+
+    ``verbosity`` counts ``-v`` flags: any positive count drops the level
+    to ``DEBUG``.  Re-invocation only adjusts the level, so calling
+    ``main()`` repeatedly (tests, notebooks) never stacks handlers.
+    """
+    global _handler
+    resolved = resolve_level(level)
+    if verbosity > 0:
+        resolved = min(resolved, logging.DEBUG)
+    root = logging.getLogger(ROOT_NAME)
+    if _handler is None:
+        _handler = _DynamicStderrHandler()
+        _handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        root.addHandler(_handler)
+        root.propagate = False
+    root.setLevel(resolved)
+    return root
+
+
+def add_logging_args(parser) -> None:
+    """Install the shared ``--log-level``/``-v`` flags on a CLI parser."""
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(_LEVELS),
+        default="info",
+        help="diagnostics verbosity on stderr (default: info)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        dest="verbosity",
+        help="shortcut for --log-level debug",
+    )

@@ -1,0 +1,124 @@
+"""JSON run manifests: one auditable record per CLI invocation.
+
+``repro census|features|embed|runtime|rank|label --telemetry-out run.json``
+writes a manifest capturing *what the run did*: the resolved CLI config,
+engine/n_jobs provenance, census-cache hit rates, per-phase wall clock,
+every telemetry counter/timer/gauge, and peak RSS.  The schema is
+documented in ``docs/observability.md``; bump :data:`SCHEMA_VERSION`
+whenever a field changes meaning.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.log import get_logger
+from repro.obs.telemetry import Telemetry, get_telemetry
+
+SCHEMA_VERSION = 1
+
+#: Timer-name prefix marking coarse run phases (``phase/census`` ...);
+#: the manifest surfaces these in their own section.
+PHASE_PREFIX = "phase/"
+
+logger = get_logger(__name__)
+
+
+def peak_rss_kb() -> float | None:
+    """Peak resident set size of this process in KiB (``None`` off-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes there
+        peak /= 1024.0
+    return peak
+
+
+def _json_safe(value):
+    """Best-effort conversion of config values into JSON-encodable data."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, Path):
+        return str(value)
+    return repr(value)
+
+
+def build_manifest(
+    command: str,
+    config: dict | None = None,
+    telemetry: Telemetry | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble the manifest dict (see ``docs/observability.md``).
+
+    ``config`` is the resolved run configuration (CLI args); ``extra``
+    merges additional top-level sections provided by the command.
+    """
+    telemetry = telemetry if telemetry is not None else get_telemetry()
+    data = telemetry.as_dict()
+    config = _json_safe(config or {})
+
+    phases = {
+        name[len(PHASE_PREFIX):]: stats
+        for name, stats in data["timers"].items()
+        if name.startswith(PHASE_PREFIX)
+    }
+    counters = data["counters"]
+    hits = counters.get("census/cache_hits", 0)
+    misses = counters.get("census/cache_misses", 0)
+    looked_up = hits + misses
+    census_cache = {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / looked_up) if looked_up else 0.0,
+        "dedup_saved": counters.get("census/dedup_saved", 0),
+        "load_status": data["annotations"].get("cache/load_status"),
+    }
+
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "command": command,
+        "created_unix": time.time(),
+        "config": config,
+        "provenance": {
+            "engine": config.get("engine") if isinstance(config, dict) else None,
+            "n_jobs": config.get("n_jobs") if isinstance(config, dict) else None,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "annotations": data["annotations"],
+        },
+        "census_cache": census_cache,
+        "phases": phases,
+        "counters": counters,
+        "timers": data["timers"],
+        "gauges": data["gauges"],
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    if extra:
+        manifest.update(_json_safe(extra))
+    return manifest
+
+
+def write_manifest(
+    path: str | Path,
+    command: str,
+    config: dict | None = None,
+    telemetry: Telemetry | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Build the manifest and write it to ``path`` as indented JSON."""
+    target = Path(path)
+    manifest = build_manifest(command, config=config, telemetry=telemetry, extra=extra)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    logger.info("telemetry manifest -> %s", target)
+    return target

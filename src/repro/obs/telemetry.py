@@ -1,0 +1,230 @@
+"""Run-telemetry registry: counters, timers, gauges, annotations.
+
+Every hot path in the library (census, cache, walk/SGNS engines, the
+experiment drivers) records what it did into a :class:`Telemetry`
+registry so a run can be audited after the fact — the paper's Table 3 is
+exactly such an audit (per-node census timing percentiles vs. per-node
+embedding cost), and PAPERS.md's sampling-based homomorphism work shows
+that subgraph-feature evaluations stand or fall on this cost accounting.
+
+Design constraints:
+
+* **dependency-free** — stdlib only, importable from worker processes;
+* **cheap** — a counter bump is one dict update under a lock; the census
+  inner loop stays dominated by real work;
+* **mergeable** — worker processes build their own local registries and
+  ship :meth:`Telemetry.snapshot` dicts (plain picklable data) back with
+  their results; the parent folds them in with :meth:`Telemetry.merge`.
+  Counters add, timer stats combine (count/total/max), gauges take the
+  maximum (peak semantics), annotations last-write-win.  Merging the
+  per-worker snapshots of an ``n_jobs = 2`` run therefore reproduces the
+  stats of the same run at ``n_jobs = 1``.
+
+Instrumented code records into the process-global registry returned by
+:func:`get_telemetry`; tests and worker shims isolate themselves with
+:func:`fresh_telemetry`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of one named timer: call count, total/mean/max seconds."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def merge(self, count: int, total: float, maximum: float) -> None:
+        self.count += count
+        self.total += total
+        if maximum > self.max:
+            self.max = maximum
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_sec": self.total,
+            "mean_sec": self.mean,
+            "max_sec": self.max,
+        }
+
+
+@dataclass
+class Span:
+    """Handle yielded by :meth:`Telemetry.span`; ``elapsed`` is set on exit."""
+
+    name: str
+    elapsed: float = field(default=0.0)
+
+
+class Telemetry:
+    """Named counters, timers, gauges, and annotations for one run.
+
+    All mutation goes through one :class:`threading.Lock`, so concurrent
+    threads (LINE's order training, pool callback threads) can record
+    safely.  Cross-*process* safety is by construction: workers use their
+    own instance and the parent merges the returned snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: dict[str, float] = {}
+        self.timers: dict[str, TimerStat] = {}
+        self.gauges: dict[str, float] = {}
+        self.annotations: dict[str, str] = {}
+
+    # -- recording --------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def timer(self, name: str, seconds: float) -> None:
+        """Record one observation of ``seconds`` under timer ``name``."""
+        with self._lock:
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = TimerStat()
+            stat.add(seconds)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins locally)."""
+        with self._lock:
+            self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if larger (peak semantics)."""
+        with self._lock:
+            if value > self.gauges.get(name, float("-inf")):
+                self.gauges[name] = float(value)
+
+    def annotate(self, name: str, value) -> None:
+        """Attach a string fact (engine name, cache status) to the run."""
+        with self._lock:
+            self.annotations[name] = str(value)
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a ``with`` block into timer ``name``.
+
+        Yields a :class:`Span` whose ``elapsed`` attribute holds the
+        wall-clock seconds after the block exits (also on exceptions, so
+        failed phases still show up in the manifest).
+        """
+        handle = Span(name)
+        started = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            handle.elapsed = time.perf_counter() - started
+            self.timer(name, handle.elapsed)
+
+    # -- merge / serialisation -------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain picklable dict of the current state (for worker returns)."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    name: (stat.count, stat.total, stat.max)
+                    for name, stat in self.timers.items()
+                },
+                "gauges": dict(self.gauges),
+                "annotations": dict(self.annotations),
+            }
+
+    def merge(self, other: "Telemetry | dict") -> None:
+        """Fold another registry (or a :meth:`snapshot` dict) into this one.
+
+        Counters add, timers combine, gauges take the max, annotations
+        from ``other`` win — see the module docstring for why these are
+        the right semantics for worker fan-in.
+        """
+        data = other.snapshot() if isinstance(other, Telemetry) else other
+        with self._lock:
+            for name, value in data.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, (count, total, maximum) in data.get("timers", {}).items():
+                stat = self.timers.get(name)
+                if stat is None:
+                    stat = self.timers[name] = TimerStat()
+                stat.merge(count, total, maximum)
+            for name, value in data.get("gauges", {}).items():
+                if value > self.gauges.get(name, float("-inf")):
+                    self.gauges[name] = value
+            self.annotations.update(data.get("annotations", {}))
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "Telemetry":
+        telemetry = cls()
+        telemetry.merge(data)
+        return telemetry
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (timers expanded with means) for manifests."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "timers": {
+                    name: stat.as_dict() for name, stat in self.timers.items()
+                },
+                "gauges": dict(self.gauges),
+                "annotations": dict(self.annotations),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+            self.timers.clear()
+            self.gauges.clear()
+            self.annotations.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Telemetry(counters={len(self.counters)}, "
+            f"timers={len(self.timers)}, gauges={len(self.gauges)})"
+        )
+
+
+#: Process-global registry used by instrumented library code.  Worker
+#: processes get a fresh (empty) one on spawn, record locally, and ship
+#: snapshots back to be merged here by the dispatching parent.
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global telemetry registry."""
+    return _GLOBAL
+
+
+@contextmanager
+def fresh_telemetry():
+    """Swap in a fresh global registry for the duration of the block.
+
+    Used by tests (isolation) and by the CLI (one manifest per command);
+    yields the fresh registry and restores the previous one on exit.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = Telemetry()
+    try:
+        yield _GLOBAL
+    finally:
+        _GLOBAL = previous

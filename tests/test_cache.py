@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import logging
+import pickle
 from collections import Counter
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
 
+import repro.core.cache as cache_module
 from repro.core.cache import CensusCache, census_cache_key
 from repro.core.census import CensusConfig, subgraph_census
 from repro.core.features import SubgraphFeatureExtractor
@@ -113,3 +117,176 @@ class TestExtractorCacheIntegration:
         ).census_many(publication_graph, [0])
         assert cache.hits == 0
         assert len(cache) == 2
+
+
+@contextmanager
+def captured_cache_warnings():
+    """Collect warning records from the cache module's logger.
+
+    ``caplog`` cannot be used here: the ``repro`` hierarchy sets
+    ``propagate = False`` once the CLI has configured logging, so records
+    never reach the root logger pytest listens on.  Attaching a handler
+    directly to the module logger sees them regardless.
+    """
+    records: list[logging.LogRecord] = []
+
+    class _Collector(logging.Handler):
+        def emit(self, record: logging.LogRecord) -> None:
+            records.append(record)
+
+    logger = logging.getLogger("repro.core.cache")
+    handler = _Collector(level=logging.WARNING)
+    old_level = logger.level
+    logger.addHandler(handler)
+    logger.setLevel(logging.WARNING)
+    try:
+        yield records
+    finally:
+        logger.removeHandler(handler)
+        logger.setLevel(old_level)
+
+
+class TestDurability:
+    """The save path must never corrupt an existing cache file."""
+
+    def _saved_cache(self, publication_graph, config, path) -> Counter:
+        cache = CensusCache(path)
+        census = subgraph_census(publication_graph, 0, config)
+        cache.put(publication_graph, config, 0, census)
+        cache.save()
+        return census
+
+    def test_interrupted_save_leaves_original_intact(
+        self, publication_graph, config, tmp_path, monkeypatch
+    ):
+        """A crash mid-write (kill -9 style) must not clobber the file."""
+        path = tmp_path / "census.cache"
+        census = self._saved_cache(publication_graph, config, path)
+        good_bytes = path.read_bytes()
+
+        def dying_dump(obj, fh, protocol=None):
+            fh.write(b"\x80\x04partial-garbage")
+            raise KeyboardInterrupt("simulated kill")
+
+        monkeypatch.setattr(cache_module.pickle, "dump", dying_dump)
+        cache = CensusCache(path)
+        cache.put(publication_graph, config, 1, Counter({"new": 1}))
+        with pytest.raises(KeyboardInterrupt):
+            cache.save()
+
+        # Original contents untouched; the stray bytes live in a temp file.
+        assert path.read_bytes() == good_bytes
+        leftovers = list(tmp_path.glob("census.cache.*.tmp"))
+        assert len(leftovers) == 1
+        reloaded = CensusCache(path)
+        assert reloaded.load_status == "loaded"
+        assert reloaded.get(publication_graph, config, 0) == census
+
+    def test_save_replaces_stale_contents(self, publication_graph, config, tmp_path):
+        path = tmp_path / "census.cache"
+        self._saved_cache(publication_graph, config, path)
+        fresh = CensusCache(path)
+        fresh.put(publication_graph, config, 1, Counter({"k": 2}))
+        fresh.save()
+        assert len(CensusCache(path)) == 2
+
+    def test_save_to_explicit_path(self, publication_graph, config, tmp_path):
+        cache = CensusCache()
+        cache.put(publication_graph, config, 0, Counter({"k": 1}))
+        target = cache.save(tmp_path / "explicit.cache")
+        assert target.exists()
+        assert len(CensusCache(target)) == 1
+
+
+class TestLoadStatus:
+    """Failed loads must warn and be inspectable, never silent."""
+
+    def test_no_path_is_none(self):
+        assert CensusCache().load_status is None
+
+    def test_missing_file(self, tmp_path):
+        assert CensusCache(tmp_path / "nope.cache").load_status == "missing"
+
+    def test_loaded(self, publication_graph, config, tmp_path):
+        path = tmp_path / "census.cache"
+        cache = CensusCache(path)
+        cache.put(publication_graph, config, 0, Counter({"k": 1}))
+        cache.save()
+        assert CensusCache(path).load_status == "loaded"
+
+    def test_corrupt_file_warns(self, tmp_path):
+        path = tmp_path / "census.cache"
+        path.write_bytes(b"not a pickle")
+        with captured_cache_warnings() as records:
+            cache = CensusCache(path)
+        assert cache.load_status == "corrupt"
+        assert len(records) == 1
+        message = records[0].getMessage()
+        assert "unreadable" in message
+        assert str(path) in message
+
+    def test_garbage_text_warns(self, tmp_path):
+        """Text garbage parses as protocol-0 opcodes raising ValueError."""
+        path = tmp_path / "census.cache"
+        path.write_bytes(b"garbage\n")
+        with captured_cache_warnings() as records:
+            assert CensusCache(path).load_status == "corrupt"
+        assert len(records) == 1
+
+    def test_truncated_pickle_warns(self, publication_graph, config, tmp_path):
+        path = tmp_path / "census.cache"
+        cache = CensusCache(path)
+        cache.put(publication_graph, config, 0, Counter({"k": 1}))
+        cache.save()
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with captured_cache_warnings() as records:
+            assert CensusCache(path).load_status == "corrupt"
+        assert len(records) == 1
+
+    def test_version_mismatch_warns_and_ignores(self, tmp_path):
+        path = tmp_path / "census.cache"
+        path.write_bytes(
+            pickle.dumps({"version": 999, "entries": {("fp", (), 0): Counter()}})
+        )
+        with captured_cache_warnings() as records:
+            cache = CensusCache(path)
+        assert cache.load_status == "version-mismatch"
+        assert len(cache) == 0
+        assert len(records) == 1
+        assert "version" in records[0].getMessage()
+
+    def test_legacy_payload_is_version_mismatch(self, tmp_path):
+        """Pre-versioned caches (a bare dict) are ignored, not crashed on."""
+        path = tmp_path / "census.cache"
+        path.write_bytes(pickle.dumps({("fp", (), 0): Counter({"k": 1})}))
+        with captured_cache_warnings() as records:
+            cache = CensusCache(path)
+        assert cache.load_status == "version-mismatch"
+        assert len(cache) == 0
+        assert len(records) == 1
+
+
+class TestEviction:
+    def test_fifo_eviction_beyond_bound(self, publication_graph, config):
+        cache = CensusCache(max_entries=2)
+        for root in (0, 1, 2):
+            cache.put(publication_graph, config, root, Counter({"k": root}))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # Oldest entry (root 0) is gone; newest two survive.
+        assert cache.get(publication_graph, config, 0) is None
+        assert cache.get(publication_graph, config, 1) == Counter({"k": 1})
+        assert cache.get(publication_graph, config, 2) == Counter({"k": 2})
+
+    def test_overwrite_does_not_evict(self, publication_graph, config):
+        cache = CensusCache(max_entries=2)
+        cache.put(publication_graph, config, 0, Counter({"k": 1}))
+        cache.put(publication_graph, config, 1, Counter({"k": 2}))
+        cache.put(publication_graph, config, 0, Counter({"k": 3}))
+        assert cache.evictions == 0
+        assert cache.get(publication_graph, config, 0) == Counter({"k": 3})
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            CensusCache(max_entries=0)

@@ -302,3 +302,168 @@ class TestCollisions:
         ) == 0
         out = capsys.readouterr().out
         assert "SmallGraph" in out
+
+
+@pytest.fixture(scope="module")
+def imdb_json(tmp_path_factory):
+    """A labelled synthetic graph big enough for the label experiment."""
+    from repro.datasets import ImdbConfig, SyntheticIMDB
+
+    graph = SyntheticIMDB(
+        ImdbConfig(
+            num_movies=20,
+            num_actors=30,
+            num_directors=8,
+            num_writers=10,
+            num_composers=5,
+            num_keywords=8,
+            seed=7,
+        )
+    ).graph
+    target = tmp_path_factory.mktemp("cli") / "imdb.json"
+    write_graph_json(graph, target)
+    return str(target)
+
+
+class TestRank:
+    def test_prints_table1(self, capsys):
+        code = main(
+            [
+                "rank",
+                "--conferences",
+                "KDD",
+                "--families",
+                "classic",
+                "--regressors",
+                "LinRegr",
+                "--train-years",
+                "2013,2014",
+                "--institutions",
+                "12",
+                "--authors",
+                "2",
+                "--papers",
+                "8",
+                "--trees",
+                "10",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out
+        assert "classic" in captured.out
+        assert "rank world" in captured.err
+
+
+class TestLabel:
+    def test_prints_sweep(self, imdb_json, capsys):
+        code = main(
+            [
+                "label",
+                imdb_json,
+                "--features",
+                "subgraph",
+                "--fractions",
+                "0.5",
+                "--repeats",
+                "2",
+                "--per-label",
+                "6",
+                "--emax",
+                "2",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 5A-C" in captured.out
+        assert "subgraph" in captured.out
+        assert "label task" in captured.err
+
+
+class TestTelemetryAndLogging:
+    def test_telemetry_out_writes_manifest(self, graph_json, tmp_path, capsys):
+        manifest_path = tmp_path / "run.json"
+        cache_path = tmp_path / "census.cache"
+        args = [
+            "census",
+            graph_json,
+            "--root",
+            "i1",
+            "--emax",
+            "2",
+            "--census-cache",
+            str(cache_path),
+            "--telemetry-out",
+            str(manifest_path),
+        ]
+        assert main(args) == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["schema_version"] == 1
+        assert manifest["command"] == "census"
+        assert manifest["config"]["emax"] == 2
+        assert manifest["census_cache"]["misses"] == 1
+        assert manifest["census_cache"]["load_status"] == "missing"
+        assert "total" in manifest["phases"]
+        capsys.readouterr()
+
+        # Second run hits the saved cache; the manifest reflects it.
+        assert main(args) == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["census_cache"]["hits"] == 1
+        assert manifest["census_cache"]["hit_rate"] == 1.0
+        assert manifest["census_cache"]["load_status"] == "loaded"
+        capsys.readouterr()
+
+    def test_runtime_manifest_has_phases_and_cache_stats(
+        self, graph_json, tmp_path, capsys
+    ):
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            [
+                "runtime",
+                graph_json,
+                "--roots",
+                "3",
+                "--emax",
+                "2",
+                "--n-jobs",
+                "2",
+                "--census-cache",
+                str(tmp_path / "census.cache"),
+                "--telemetry-out",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(manifest_path.read_text())
+        assert {"census", "embeddings", "total"} <= set(manifest["phases"])
+        assert manifest["census_cache"]["misses"] == 3
+        assert manifest["provenance"]["n_jobs"] == 2
+        assert manifest["provenance"]["annotations"]["census/engine"] == "fast"
+        assert manifest["peak_rss_kb"] is None or manifest["peak_rss_kb"] > 0
+        capsys.readouterr()
+
+    def test_log_level_flag_silences_diagnostics(self, graph_json, capsys):
+        assert main(
+            [
+                "census",
+                graph_json,
+                "--root",
+                "i1",
+                "--emax",
+                "2",
+                "--log-level",
+                "warning",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "classes" not in captured.err  # info diagnostics suppressed
+        assert "\t" in captured.out  # results still on stdout
+
+    def test_verbose_flag_dumps_telemetry(self, graph_json, capsys):
+        assert main(
+            ["census", graph_json, "--root", "i1", "--emax", "2", "-v"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "telemetry:" in err
+        assert "census/calls" in err

@@ -13,6 +13,7 @@ from repro.experiments.reporting import (
     render_table3,
 )
 from repro.experiments.runtime import (
+    RuntimeReport,
     runtime_report,
     time_census_per_node,
     time_embeddings_per_node,
@@ -73,6 +74,37 @@ class TestRuntime:
         rendered = render_table3([report])
         assert "Table 3" in rendered
         assert "pipeline" in rendered
+
+    def test_row_with_missing_method_renders_na(self):
+        """A partial run without every embedding must not KeyError."""
+        report = RuntimeReport(
+            dataset="IMDB",
+            census_mean=0.1,
+            census_p75=0.1,
+            census_p90=0.1,
+            census_p95=0.1,
+            census_max=0.2,
+            embedding_mean={"node2vec": 0.5},  # deepwalk and line missing
+            num_nodes_timed=3,
+        )
+        row = report.row()
+        assert "n/a" in row
+        assert "0.50000" in row
+        rendered = render_table3([report])
+        assert "n/a" in rendered
+
+    def test_census_cache_serves_second_timing_pass(self, imdb_graph):
+        from repro.core.cache import CensusCache
+        from repro.obs.telemetry import fresh_telemetry
+
+        cache = CensusCache()
+        with fresh_telemetry() as telemetry:
+            cold = time_census_per_node(imdb_graph, [0, 1, 2], emax=2, cache=cache)
+            warm = time_census_per_node(imdb_graph, [0, 1, 2], emax=2, cache=cache)
+        assert cold.shape == warm.shape == (3,)
+        assert telemetry.counters["census/cache_misses"] == 3
+        assert telemetry.counters["census/cache_hits"] == 3
+        assert telemetry.timers["census/root_timed"].count == 6
 
     def test_report_records_pipeline(self, imdb_graph):
         params = EmbeddingParams(dim=8, num_walks=2, walk_length=8, window=3,

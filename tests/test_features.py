@@ -161,6 +161,110 @@ class TestCensusManyScheduling:
         assert results[2] == subgraph_census(publication_graph, 0, config)
 
 
+class TestCensusManyDedup:
+    """Duplicate roots must be censused once and fanned out."""
+
+    def _counting_census(self, monkeypatch):
+        import repro.core.features as features_module
+
+        calls = []
+        real = features_module.subgraph_census
+
+        def counting(graph, node, config, **kwargs):
+            calls.append(int(node))
+            return real(graph, node, config, **kwargs)
+
+        monkeypatch.setattr(features_module, "subgraph_census", counting)
+        return calls
+
+    def test_duplicates_computed_once(self, publication_graph, monkeypatch):
+        calls = self._counting_census(monkeypatch)
+        config = CensusConfig(max_edges=2)
+        nodes = [0, 0, 2, 0]
+        results = SubgraphFeatureExtractor(config).census_many(
+            publication_graph, nodes
+        )
+        assert sorted(calls) == [0, 2]  # one census per unique root
+        expected = subgraph_census(publication_graph, 0, config)
+        assert results[0] == results[1] == results[3] == expected
+        assert results[2] == subgraph_census(publication_graph, 2, config)
+
+    def test_fanned_out_rows_are_independent(self, publication_graph):
+        config = CensusConfig(max_edges=2)
+        results = SubgraphFeatureExtractor(config).census_many(
+            publication_graph, [3, 3]
+        )
+        results[0]["poisoned"] = 99
+        assert "poisoned" not in results[1]
+
+    def test_duplicates_hit_cache_not_census(self, publication_graph, monkeypatch):
+        """With a cache, duplicates must not turn into extra misses."""
+        from repro.core.cache import CensusCache
+
+        calls = self._counting_census(monkeypatch)
+        config = CensusConfig(max_edges=2)
+        cache = CensusCache()
+        extractor = SubgraphFeatureExtractor(config, cache=cache)
+        extractor.census_many(publication_graph, [0, 0, 2, 0])
+        assert sorted(calls) == [0, 2]
+        assert cache.misses == 2  # one per unique root, not per occurrence
+        assert cache.hits == 0
+
+    def test_dedup_savings_counted(self, publication_graph):
+        from repro.obs.telemetry import fresh_telemetry
+
+        config = CensusConfig(max_edges=2)
+        with fresh_telemetry() as telemetry:
+            SubgraphFeatureExtractor(config).census_many(
+                publication_graph, [0, 0, 2, 0]
+            )
+        assert telemetry.counters["census/requested"] == 4
+        assert telemetry.counters["census/dedup_saved"] == 2
+
+
+class TestCensusManyTelemetry:
+    """Worker-side stats must merge into the parent registry."""
+
+    def _run(self, graph, n_jobs):
+        from repro.obs.telemetry import fresh_telemetry
+
+        nodes = list(range(graph.num_nodes))
+        with fresh_telemetry() as telemetry:
+            results = SubgraphFeatureExtractor(
+                CensusConfig(max_edges=3), n_jobs=n_jobs
+            ).census_many(graph, nodes)
+        return results, telemetry
+
+    def test_parallel_stats_match_serial(self, publication_graph):
+        serial_results, serial = self._run(publication_graph, n_jobs=1)
+        parallel_results, parallel = self._run(publication_graph, n_jobs=2)
+        assert parallel_results == serial_results
+        # Same roots censused, whether in-process or shipped back from
+        # pool workers as snapshots.
+        assert (
+            parallel.counters["census/requested"]
+            == serial.counters["census/requested"]
+        )
+        assert (
+            parallel.timers["census/root"].count
+            == serial.timers["census/root"].count
+        )
+        assert parallel.timers["census/chunk"].count >= 1
+
+    def test_cache_hits_counted(self, publication_graph):
+        from repro.core.cache import CensusCache
+        from repro.obs.telemetry import fresh_telemetry
+
+        config = CensusConfig(max_edges=2)
+        cache = CensusCache()
+        extractor = SubgraphFeatureExtractor(config, cache=cache)
+        with fresh_telemetry() as telemetry:
+            extractor.census_many(publication_graph, [0, 1])
+            extractor.census_many(publication_graph, [0, 1])
+        assert telemetry.counters["census/cache_misses"] == 2
+        assert telemetry.counters["census/cache_hits"] == 2
+
+
 class TestFeatureSpaceUtilities:
     def test_merged_preserves_existing_columns(self):
         a = FeatureSpace(["x", "y"])

@@ -1,0 +1,42 @@
+"""Repo-policy check: library diagnostics go through logging, not print.
+
+Everything under ``src/repro/`` must use the ``repro.*`` logger hierarchy
+(:mod:`repro.obs.log`) for diagnostics.  The only sanctioned ``print``
+calls are the CLI's result/table rendering in ``cli.py`` — stdout is that
+command's *output*, stderr its diagnostics.  This test is the CI guard
+promised in docs/observability.md.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Files whose stdout IS their product: the CLI prints tables/results.
+ALLOWED = {"cli.py"}
+
+#: A call to the ``print`` builtin: not preceded by an attribute access or
+#: identifier character (so ``pprint(``, ``self.print(`` don't match).
+BARE_PRINT = re.compile(r"(?<![\w.])print\(")
+
+
+def iter_offenders():
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            stripped = line.lstrip()
+            if stripped.startswith("#"):
+                continue
+            if BARE_PRINT.search(line):
+                yield f"{path.relative_to(SRC.parent)}:{lineno}: {stripped}"
+
+
+def test_no_bare_print_outside_cli():
+    offenders = list(iter_offenders())
+    assert not offenders, (
+        "bare print() in library code; use repro.obs.log.get_logger "
+        "instead:\n" + "\n".join(offenders)
+    )
