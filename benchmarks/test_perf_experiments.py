@@ -1,0 +1,143 @@
+"""Perf gate: the sparse + parallel experiment pipeline vs. the baseline.
+
+Runs the Table-1 rank-prediction grid end to end on a small MAG world
+twice: once on the fast path (sparse count matrices, per-year feature
+reuse across families, batched forest engine, resolved ``n_jobs``) and
+once on the baseline path (dense matrices, no feature reuse, reference
+forest engine, sequential grid).  Writes ``BENCH_experiments.json`` next
+to the repo root so future PRs have a perf trajectory to compare against.
+
+The gate asserts the fast path is at least 2.5x faster end to end AND
+that both paths produce the *identical* NDCG grid — the sparse layout,
+the feature cache, the batched trees, and the process fan-out are all
+bit-exact reformulations, so any drift is a bug, not noise.
+
+``--smoke`` shrinks the workload to seconds, skips the gate, and does
+not write the JSON artefact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.datasets.mag import MagConfig, SyntheticMAG
+from repro.experiments.rank_prediction import (
+    RankPredictionExperiment,
+    RankTaskConfig,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_experiments.json"
+
+#: The acceptance gate: end-to-end fast-path speedup on this workload.
+MIN_SPEEDUP = 2.5
+
+#: Families whose Table-1 columns the bench reproduces.  ``combined``
+#: matters for the perf story: without feature reuse it recomputes both
+#: count families from scratch.
+FAMILIES = ("classic", "subgraph", "combined")
+
+REGRESSORS = ("LinRegr", "BayRidge", "RanForest")
+
+#: The fast path under test: every optimisation this PR added, enabled.
+FAST = dict(layout="sparse", reuse_features=True, forest_engine="fast", n_jobs=None)
+
+#: The baseline: the pipeline exactly as it stood before this PR.
+BASELINE = dict(
+    layout="dense", reuse_features=False, forest_engine="reference", n_jobs=1
+)
+
+
+def _world(smoke: bool) -> SyntheticMAG:
+    if smoke:
+        config = MagConfig(
+            num_institutions=14,
+            authors_per_institution=4,
+            papers_per_conference_year=16,
+            seed=7,
+        )
+    else:
+        config = MagConfig(
+            num_institutions=30,
+            authors_per_institution=6,
+            papers_per_conference_year=40,
+            seed=7,
+        )
+    return SyntheticMAG(config)
+
+
+def _task(mag: SyntheticMAG, smoke: bool, **overrides) -> RankTaskConfig:
+    base = RankTaskConfig(
+        train_years=(2013, 2014) if smoke else (2011, 2012, 2013, 2014),
+        test_year=2015,
+        conferences=tuple(mag.config.conferences[:2]),
+        emax=2 if smoke else 3,
+        forest_trees=30 if smoke else 300,
+        seed=0,
+    )
+    return replace(base, **overrides)
+
+
+def _run_arm(mag: SyntheticMAG, smoke: bool, arm: dict):
+    config = _task(mag, smoke, **arm)
+    experiment = RankPredictionExperiment(mag, config)
+    started = time.perf_counter()
+    result = experiment.run(families=FAMILIES, regressors=REGRESSORS)
+    return time.perf_counter() - started, result
+
+
+def test_experiment_pipeline_speedup(benchmark, smoke):
+    mag = _world(smoke)
+
+    # Interleave the arms and keep the fastest round of each: wall-clock
+    # noise on a shared box easily reaches +-20%, which would swamp the
+    # gate if each arm were timed once.
+    rounds = 1 if smoke else 2
+    fast_s, fast = benchmark.pedantic(
+        lambda: _run_arm(mag, smoke, FAST), rounds=1, iterations=1
+    )
+    baseline_s, baseline = _run_arm(mag, smoke, BASELINE)
+    for _ in range(rounds - 1):
+        fast_s = min(fast_s, _run_arm(mag, smoke, FAST)[0])
+        baseline_s = min(baseline_s, _run_arm(mag, smoke, BASELINE)[0])
+    speedup = baseline_s / fast_s
+
+    # Score parity first: a perf number for a different answer is worthless.
+    assert fast.ndcg == baseline.ndcg, (
+        "fast-path NDCG grid differs from the baseline grid"
+    )
+
+    print()
+    print(
+        f"experiment perf: fast {fast_s:.2f}s vs baseline {baseline_s:.2f}s "
+        f"-> {speedup:.2f}x (gate {MIN_SPEEDUP}x)"
+        + (" [smoke: gate skipped]" if smoke else f" -> {RESULT_PATH.name}")
+    )
+
+    if smoke:
+        return
+
+    payload = {
+        "workload": {
+            "world": "synthetic MAG, 30 institutions",
+            "conferences": list(_task(mag, smoke).conferences),
+            "families": list(FAMILIES),
+            "regressors": list(REGRESSORS),
+            "train_years": list(_task(mag, smoke).train_years),
+            "forest_trees": _task(mag, smoke).forest_trees,
+            "emax": _task(mag, smoke).emax,
+        },
+        "fast": dict(FAST),
+        "baseline": dict(BASELINE),
+        "fast_s": float(fast_s),
+        "baseline_s": float(baseline_s),
+        "speedup": float(speedup),
+        "scores_identical": True,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"experiment pipeline speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate"
+    )

@@ -99,6 +99,19 @@ def _csv(value: str, caster=str) -> list:
     return [caster(item) for item in value.split(",") if item]
 
 
+def _annotate_experiment(telemetry, engine=None, n_jobs=None, layout=None) -> None:
+    """Record resolved experiment provenance so ``--telemetry-out``
+    manifests show exactly which pipeline variant produced the numbers."""
+    from repro.ml.forest import resolve_n_jobs
+
+    if engine is not None:
+        telemetry.annotate("experiment/engine", engine)
+    if n_jobs is not None:
+        telemetry.annotate("experiment/n_jobs", resolve_n_jobs(n_jobs))
+    if layout is not None:
+        telemetry.annotate("experiment/layout", layout)
+
+
 def cmd_info(args) -> int:
     graph = _load_graph(args.graph)
     print(graph)
@@ -264,8 +277,12 @@ def cmd_rank(args) -> int:
         emax=args.emax,
         forest_trees=args.trees,
         seed=args.seed,
+        layout=args.layout,
+        forest_engine=args.engine,
+        n_jobs=args.n_jobs,
     )
     telemetry = get_telemetry()
+    _annotate_experiment(telemetry, engine=args.engine, n_jobs=args.n_jobs, layout=args.layout)
     with telemetry.span("phase/build_world"):
         mag = SyntheticMAG(mag_config)
     logger.info(
@@ -302,7 +319,10 @@ def cmd_label(args) -> int:
         removal_fractions=tuple(_csv(args.removal_fractions, float)),
         n_repeats=args.repeats,
         seed=args.seed,
+        layout=args.layout,
+        n_jobs=args.n_jobs,
     )
+    _annotate_experiment(get_telemetry(), n_jobs=args.n_jobs, layout=args.layout)
     experiment = LabelPredictionExperiment(graph, config)
     logger.info(
         "label task: %d sampled roots over %d labels, mode=%s",
@@ -497,6 +517,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the Figure-3 per-conference grids",
     )
     p_rank.add_argument("--seed", type=int, default=0, help="rng seed")
+    p_rank.add_argument(
+        "--layout",
+        choices=("dense", "sparse"),
+        default="dense",
+        help="count-feature matrix layout",
+    )
+    p_rank.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="random forest implementation",
+    )
+    p_rank.add_argument(
+        "--n-jobs",
+        "--jobs",
+        dest="n_jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment grid and forests "
+        "(results are identical for any value)",
+    )
     common_args(p_rank)
     p_rank.set_defaults(func=cmd_rank)
 
@@ -524,6 +565,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_label.add_argument("--repeats", type=int, default=10, help="splits per point")
     p_label.add_argument("--seed", type=int, default=0, help="rng seed")
+    p_label.add_argument(
+        "--layout",
+        choices=("dense", "sparse"),
+        default="dense",
+        help="count-feature matrix layout",
+    )
+    p_label.add_argument(
+        "--n-jobs",
+        "--jobs",
+        dest="n_jobs",
+        type=int,
+        default=1,
+        help="worker processes for the training sweep "
+        "(results are identical for any value)",
+    )
     common_args(p_label)
     p_label.set_defaults(func=cmd_label)
 

@@ -21,6 +21,7 @@ from repro.core.features import (
     SubgraphFeatures,
 )
 from repro.core.graph import FlatAdjacency, HeteroGraph
+from repro.core.sparse import CSRMatrix
 from repro.core.hashing import RollingSubgraphHash
 from repro.core.interpret import RankedFeature, describe_code, rank_features, realize_code
 from repro.core.isomorphism import (
@@ -50,6 +51,7 @@ __all__ = [
     "CensusConfig",
     "CensusStats",
     "CollisionReport",
+    "CSRMatrix",
     "FeatureSpace",
     "FlatAdjacency",
     "HeteroGraph",

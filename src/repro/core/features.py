@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.cache import CensusCache
 from repro.core.census import CensusConfig, subgraph_census
 from repro.core.graph import HeteroGraph
+from repro.core.sparse import CSRMatrix
 from repro.exceptions import FeatureError
 from repro.obs.telemetry import Telemetry, get_telemetry
 
@@ -94,7 +95,7 @@ class FeatureSpace:
         return merged
 
     def prune(
-        self, censuses: Sequence[Counter], min_nodes: int = 2
+        self, censuses: "Sequence[Counter] | CSRMatrix", min_nodes: int = 2
     ) -> "FeatureSpace":
         """A new space keeping only codes observed around at least
         ``min_nodes`` distinct roots.
@@ -102,9 +103,28 @@ class FeatureSpace:
         Rare subgraph classes are one-hot noise for most models; pruning
         them shrinks matrices substantially on heavy-tailed vocabularies
         while keeping the informative mass.
+
+        ``censuses`` may be the raw counters or a :class:`CSRMatrix` built
+        by ``to_matrix(..., layout="sparse")`` *from this space*: its
+        stored entries are exactly the indexed (key, root) observations,
+        so support is one ``bincount`` over the CSR columns instead of a
+        re-iteration of every counter.  Keys absent from this space's own
+        index never count toward support either way (masked censuses can
+        carry codes the vocabulary dropped).
         """
         if min_nodes < 1:
             raise FeatureError(f"min_nodes must be >= 1, got {min_nodes}")
+        if isinstance(censuses, CSRMatrix):
+            if censuses.shape[1] != len(self):
+                raise FeatureError(
+                    f"matrix has {censuses.shape[1]} columns, space has {len(self)}"
+                )
+            support_per_column = censuses.column_support()
+            return FeatureSpace(
+                key
+                for column, key in enumerate(self._keys)
+                if support_per_column[column] >= min_nodes
+            )
         support: Counter = Counter()
         for census in censuses:
             for key in census:
@@ -114,8 +134,15 @@ class FeatureSpace:
             key for key in self._keys if support[key] >= min_nodes
         )
 
-    def to_matrix(self, censuses: Sequence[Counter]) -> np.ndarray:
-        """Stack censuses into a dense ``(len(censuses), len(self))`` matrix.
+    def to_matrix(
+        self, censuses: Sequence[Counter], layout: str = "dense"
+    ) -> "np.ndarray | CSRMatrix":
+        """Stack censuses into a ``(len(censuses), len(self))`` matrix.
+
+        ``layout="dense"`` returns the float64 ndarray; ``layout="sparse"``
+        builds a :class:`CSRMatrix` directly from the counters without ever
+        materialising the zeros — same values at the same positions, so
+        models fed either layout are bit-identical.
 
         Keys absent from the vocabulary are silently dropped — that is the
         correct behaviour for *test* nodes whose neighbourhood contains
@@ -123,6 +150,10 @@ class FeatureSpace:
         """
         if not len(self):
             raise FeatureError("cannot build a matrix from an empty feature space")
+        if layout == "sparse":
+            return CSRMatrix.from_counters(censuses, self._index, len(self))
+        if layout != "dense":
+            raise FeatureError(f"layout must be 'dense' or 'sparse', got {layout!r}")
         matrix = np.zeros((len(censuses), len(self)), dtype=np.float64)
         index = self._index
         for row, census in enumerate(censuses):
@@ -140,14 +171,16 @@ class SubgraphFeatures:
     Attributes
     ----------
     matrix:
-        Dense ``(num_nodes, num_features)`` count matrix.
+        ``(num_nodes, num_features)`` count matrix — dense ndarray or
+        :class:`~repro.core.sparse.CSRMatrix` depending on the extraction
+        ``layout``; both carry identical values.
     space:
         The vocabulary mapping columns back to subgraph codes.
     nodes:
         Root node indices, aligned with matrix rows.
     """
 
-    matrix: np.ndarray
+    matrix: "np.ndarray | CSRMatrix"
     space: FeatureSpace
     nodes: tuple[int, ...]
 
@@ -300,7 +333,9 @@ class SubgraphFeatureExtractor:
                 results[pos] = Counter(census)
         return results
 
-    def fit_transform(self, graph: HeteroGraph, nodes: Sequence[int]) -> SubgraphFeatures:
+    def fit_transform(
+        self, graph: HeteroGraph, nodes: Sequence[int], layout: str = "dense"
+    ) -> SubgraphFeatures:
         """Census the nodes, build a fresh vocabulary, return the matrix."""
         censuses = self.census_many(graph, nodes)
         space = FeatureSpace().fit(censuses)
@@ -308,11 +343,23 @@ class SubgraphFeatureExtractor:
             raise FeatureError(
                 "no subgraphs found around any root; are the nodes isolated?"
             )
-        return SubgraphFeatures(space.to_matrix(censuses), space, tuple(int(n) for n in nodes))
+        return SubgraphFeatures(
+            space.to_matrix(censuses, layout=layout),
+            space,
+            tuple(int(n) for n in nodes),
+        )
 
     def transform(
-        self, graph: HeteroGraph, nodes: Sequence[int], space: FeatureSpace
+        self,
+        graph: HeteroGraph,
+        nodes: Sequence[int],
+        space: FeatureSpace,
+        layout: str = "dense",
     ) -> SubgraphFeatures:
         """Census the nodes and align them to an existing vocabulary."""
         censuses = self.census_many(graph, nodes)
-        return SubgraphFeatures(space.to_matrix(censuses), space, tuple(int(n) for n in nodes))
+        return SubgraphFeatures(
+            space.to_matrix(censuses, layout=layout),
+            space,
+            tuple(int(n) for n in nodes),
+        )

@@ -17,7 +17,8 @@ Two experiment axes map to Figure 5:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -33,13 +34,49 @@ from repro.experiments.common import (
     percentile_degree,
 )
 from repro.ml import StandardScaler, macro_f1, train_test_split, tune_regularization
+from repro.ml.forest import resolve_n_jobs
 from repro.ml.preprocessing import log1p_counts
-from repro.obs.telemetry import get_telemetry
+from repro.obs.telemetry import fresh_telemetry, get_telemetry
 
 FEATURE_TYPES = ("subgraph", *EMBEDDING_METHODS)
 
 #: Label name standing in for removed node labels (Figure 5D–F).
 UNLABELED = "unlabeled"
+
+#: Per-worker state for the training-sweep fan-out, populated by the pool
+#: initializer so the graph and config ship once per worker process.
+_WORKER_STATE: dict = {}
+
+
+def _draw_split_seeds(rng: np.random.Generator, count: int) -> list[int]:
+    """Pre-draw ``count`` split seeds from the sequential RNG stream.
+
+    Drawing seeds up front (in the exact order the sequential loop would
+    consume them) is what makes the training-sweep fan-out bit-identical
+    for every worker count.
+    """
+    return [int(rng.integers(0, 2**31 - 1)) for _ in range(count)]
+
+
+def _init_label_worker(graph, config) -> None:
+    _WORKER_STATE["experiment"] = LabelPredictionExperiment(graph, config)
+
+
+def _label_feature_worker(payload):
+    """Score every (fraction, seeds) cell of one feature type.
+
+    Runs under a fresh telemetry registry; the snapshot is merged back into
+    the parent so counters and spans survive the process boundary.
+    """
+    feature, cells = payload
+    experiment = _WORKER_STATE["experiment"]
+    scores = {}
+    with fresh_telemetry() as telemetry:
+        X = experiment.feature_matrix(feature)
+        for fraction, seeds in cells:
+            scores[(feature, fraction)] = experiment._score_splits(X, fraction, seeds)
+        snapshot = telemetry.snapshot()
+    return scores, snapshot
 
 
 @dataclass
@@ -65,6 +102,11 @@ class LabelTaskConfig:
     embedding_params: EmbeddingParams = field(default_factory=EmbeddingParams.fast)
     logreg_grid: tuple[float, ...] = (0.01, 0.1, 1.0, 10.0)
     seed: int = 0
+    #: Matrix layout for the subgraph count features ("dense" or "sparse").
+    layout: str = "dense"
+    #: Worker processes for the training sweep's per-feature fan-out;
+    #: split seeds are pre-drawn so any count matches ``n_jobs=1``.
+    n_jobs: int | None = 1
 
 
 @dataclass
@@ -123,6 +165,10 @@ class LabelPredictionExperiment:
     def __init__(self, graph: HeteroGraph, config: LabelTaskConfig | None = None) -> None:
         self.graph = graph
         self.config = config if config is not None else LabelTaskConfig()
+        if self.config.layout not in ("dense", "sparse"):
+            raise ValueError(
+                f"layout must be 'dense' or 'sparse', got {self.config.layout!r}"
+            )
         rng = np.random.default_rng(self.config.seed)
         self.nodes, self.targets = sample_nodes_per_label(
             graph,
@@ -165,7 +211,7 @@ class LabelPredictionExperiment:
         with get_telemetry().span("phase/label_features_subgraph"):
             censuses = extractor.census_many(graph, self.nodes)
             space = FeatureSpace().fit(censuses)
-            return log1p_counts(space.to_matrix(censuses))
+            return log1p_counts(space.to_matrix(censuses, layout=cfg.layout))
 
     def embedding_features(self, method: str) -> np.ndarray:
         """Embedding rows for the sampled nodes (cached: structure-only)."""
@@ -191,19 +237,20 @@ class LabelPredictionExperiment:
     # Scoring
     # ------------------------------------------------------------------
     def _score_splits(
-        self, X: np.ndarray, train_fraction: float, rng: np.random.Generator
+        self, X: np.ndarray, train_fraction: float, split_seeds: list[int]
     ) -> list[float]:
-        """Macro-F1 over ``n_repeats`` random stratified splits.
+        """Macro-F1 over one random stratified split per seed.
 
-        Each fold is timed into the ``label/fold`` telemetry timer, so a
-        sweep's manifest shows where the scoring wall clock went.
+        Seeds are pre-drawn by the caller (see :func:`_draw_split_seeds`)
+        so cells can be scored in any process without perturbing the RNG
+        stream.  Each fold is timed into the ``label/fold`` telemetry
+        timer, so a sweep's manifest shows where the wall clock went.
         """
         cfg = self.config
         telemetry = get_telemetry()
         scores = []
-        for _ in range(cfg.n_repeats):
+        for split_seed in split_seeds:
             with telemetry.span("label/fold"):
-                split_seed = int(rng.integers(0, 2**31 - 1))
                 X_train, X_test, y_train, y_test = train_test_split(
                     X,
                     self.targets,
@@ -223,14 +270,50 @@ class LabelPredictionExperiment:
         return scores
 
     def run_training_sweep(self, features=FEATURE_TYPES) -> SweepResult:
-        """Figure 5A–C: macro-F1 vs training fraction."""
-        rng = np.random.default_rng(self.config.seed + 1)
+        """Figure 5A–C: macro-F1 vs training fraction.
+
+        With ``config.n_jobs > 1`` the per-feature cells fan out over a
+        process pool.  All split seeds are pre-drawn from the sequential
+        stream first, so results are bit-identical for any worker count.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        plan = [
+            (
+                feature,
+                [
+                    (fraction, _draw_split_seeds(rng, cfg.n_repeats))
+                    for fraction in cfg.train_fractions
+                ],
+            )
+            for feature in features
+        ]
+        n_jobs = resolve_n_jobs(cfg.n_jobs)
         scores: dict[tuple[str, float], list[float]] = {}
-        for feature in features:
-            X = self.feature_matrix(feature)
-            for fraction in self.config.train_fractions:
-                scores[(feature, fraction)] = self._score_splits(X, fraction, rng)
-        return SweepResult(scores)
+        if n_jobs > 1 and len(plan) > 1:
+            telemetry = get_telemetry()
+            worker_config = replace(cfg, n_jobs=1)
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(plan)),
+                initializer=_init_label_worker,
+                initargs=(self.graph, worker_config),
+            ) as pool:
+                for cell_scores, snapshot in pool.map(_label_feature_worker, plan):
+                    scores.update(cell_scores)
+                    telemetry.merge(snapshot)
+        else:
+            for feature, cells in plan:
+                X = self.feature_matrix(feature)
+                for fraction, seeds in cells:
+                    scores[(feature, fraction)] = self._score_splits(X, fraction, seeds)
+        # Rebuild in grid order: pool results arrive per feature chunk,
+        # and callers expect the same iteration order as the inline loop.
+        ordered = {
+            (feature, fraction): scores[(feature, fraction)]
+            for feature in features
+            for fraction in cfg.train_fractions
+        }
+        return SweepResult(ordered)
 
     def run_label_removal(self, features=FEATURE_TYPES) -> SweepResult:
         """Figure 5D–F: macro-F1 vs fraction of removed node labels.
@@ -246,7 +329,9 @@ class LabelPredictionExperiment:
             if feature in EMBEDDING_METHODS:
                 X = self.feature_matrix(feature)
                 embedding_scores[feature] = self._score_splits(
-                    X, cfg.removal_train_fraction, rng
+                    X,
+                    cfg.removal_train_fraction,
+                    _draw_split_seeds(rng, cfg.n_repeats),
                 )
         for fraction in cfg.removal_fractions:
             if "subgraph" in features:
@@ -255,7 +340,9 @@ class LabelPredictionExperiment:
                 )
                 X = self.subgraph_matrix(graph=relabelled)
                 scores[("subgraph", fraction)] = self._score_splits(
-                    X, cfg.removal_train_fraction, rng
+                    X,
+                    cfg.removal_train_fraction,
+                    _draw_split_seeds(rng, cfg.n_repeats),
                 )
             for feature, values in embedding_scores.items():
                 scores[(feature, fraction)] = list(values)
@@ -285,6 +372,10 @@ class LabelPredictionExperiment:
             except CensusError:
                 result[float(percentile)] = float("nan")
                 continue
-            scores = self._score_splits(X, self.config.removal_train_fraction, rng)
+            scores = self._score_splits(
+                X,
+                self.config.removal_train_fraction,
+                _draw_split_seeds(rng, self.config.n_repeats),
+            )
             result[float(percentile)] = float(np.mean(scores))
         return result

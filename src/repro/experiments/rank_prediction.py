@@ -19,12 +19,14 @@ The four predictive methods follow Section 4.2.3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.census import CensusConfig
 from repro.core.features import FeatureSpace, SubgraphFeatureExtractor
+from repro.core.sparse import CSRMatrix
 from repro.datasets.mag import SyntheticMAG
 from repro.experiments.classic_features import ClassicFeatureExtractor
 from repro.experiments.common import EMBEDDING_METHODS, EmbeddingParams, embedding_matrix
@@ -37,10 +39,48 @@ from repro.ml import (
     StandardScaler,
     ndcg_at,
 )
-from repro.obs.telemetry import get_telemetry
+from repro.ml.forest import resolve_n_jobs
+from repro.obs.telemetry import fresh_telemetry, get_telemetry
 
 FEATURE_FAMILIES = ("classic", "subgraph", "combined", "node2vec", "deepwalk", "line")
 REGRESSOR_NAMES = ("LinRegr", "DecTree", "RanForest", "BayRidge")
+
+
+def _hstack_blocks(blocks):
+    """Column-concatenate feature blocks, staying sparse if any block is."""
+    if any(isinstance(block, CSRMatrix) for block in blocks):
+        return CSRMatrix.hstack(blocks)
+    return np.hstack(blocks)
+
+
+# Worker-process state for the parallel grid: the synthetic world and task
+# config are shipped once per worker via the pool initializer (the
+# ``_WORKER_STATE`` pattern of ``repro.core.features``); each worker keeps
+# its own experiment instance so per-conference feature reuse works inside
+# its chunk of cells.
+_WORKER_STATE: dict = {}
+
+
+def _init_rank_worker(mag, config) -> None:
+    _WORKER_STATE["experiment"] = RankPredictionExperiment(mag, config)
+
+
+def _rank_chunk_worker(payload):
+    """Run one conference's (conference, family) cells; ship results plus
+    the worker-side telemetry snapshot for the parent to merge."""
+    cells, regressors = payload
+    experiment = _WORKER_STATE["experiment"]
+    ndcg: dict = {}
+    timings: dict = {}
+    with fresh_telemetry() as telemetry:
+        for conference, family in cells:
+            cell_ndcg, cell_timings = experiment._run_cell(
+                conference, family, regressors
+            )
+            ndcg.update(cell_ndcg)
+            timings.update(cell_timings)
+        snapshot = telemetry.snapshot()
+    return ndcg, timings, snapshot
 
 
 @dataclass
@@ -65,6 +105,21 @@ class RankTaskConfig:
     select_large: int = 60
     embedding_params: EmbeddingParams = field(default_factory=EmbeddingParams.fast)
     seed: int = 0
+    #: "dense" or "sparse" — matrix layout for the count families.  Models
+    #: see identical values either way; sparse skips materialising the
+    #: zeros of the heavy-tailed subgraph vocabulary until the model
+    #: boundary densifies.
+    layout: str = "dense"
+    #: Forest fitting engine ("fast" batched or per-node "reference").
+    forest_engine: str = "fast"
+    #: Worker processes.  With several conferences the grid runner fans
+    #: (conference, family) cells; with one conference the forest takes
+    #: the workers instead.  0/None = all cores.
+    n_jobs: int | None = 1
+    #: Reuse per-conference classic/subgraph matrices across families —
+    #: "combined" is then an hstack of cached blocks instead of a second
+    #: census of the same graphs.  Scores are identical either way.
+    reuse_features: bool = True
 
     @classmethod
     def small(cls) -> "RankTaskConfig":
@@ -112,7 +167,12 @@ class RankPredictionExperiment:
     def __init__(self, mag: SyntheticMAG, config: RankTaskConfig | None = None) -> None:
         self.mag = mag
         self.config = config if config is not None else RankTaskConfig()
+        if self.config.layout not in ("dense", "sparse"):
+            raise ValueError(
+                f"layout must be 'dense' or 'sparse', got {self.config.layout!r}"
+            )
         self._graphs: dict[tuple[str, int], object] = {}
+        self._families: dict[tuple[str, str], dict[int, object]] = {}
         history = [y for y in mag.config.years if y < self.config.test_year]
         self._classic = ClassicFeatureExtractor(mag, history_years=history)
 
@@ -153,7 +213,7 @@ class RankPredictionExperiment:
         for year in self.config.train_years:
             space.fit(censuses_by_year[year])
         by_year = {
-            year: space.to_matrix(censuses_by_year[year])
+            year: space.to_matrix(censuses_by_year[year], layout=cfg.layout)
             for year in self._feature_years()
         }
         return by_year, space
@@ -172,17 +232,31 @@ class RankPredictionExperiment:
             )
         return out
 
+    def _cached_family(self, conference: str, family: str, build):
+        if not self.config.reuse_features:
+            return build(conference)
+        key = (conference, family)
+        if key not in self._families:
+            self._families[key] = build(conference)
+        return self._families[key]
+
     def feature_family(self, conference: str, family: str) -> dict[int, np.ndarray]:
-        """Feature matrices keyed by sample year for one family."""
+        """Feature matrices keyed by sample year for one family.
+
+        With ``config.reuse_features`` (default) the classic and subgraph
+        blocks are computed once per conference and shared: requesting
+        ``combined`` after ``subgraph`` stacks the cached matrices instead
+        of re-running the census over the same graphs.
+        """
         if family == "classic":
-            return self._classic_by_year(conference)
+            return self._cached_family(conference, family, self._classic_by_year)
         if family == "subgraph":
-            return self._subgraph_by_year(conference)
+            return self._cached_family(conference, family, self._subgraph_by_year)
         if family == "combined":
-            classic = self._classic_by_year(conference)
-            subgraph = self._subgraph_by_year(conference)
+            classic = self.feature_family(conference, "classic")
+            subgraph = self.feature_family(conference, "subgraph")
             return {
-                year: np.hstack([classic[year], subgraph[year]])
+                year: _hstack_blocks([classic[year], subgraph[year]])
                 for year in self._feature_years()
             }
         if family in EMBEDDING_METHODS:
@@ -212,6 +286,8 @@ class RankPredictionExperiment:
                 n_estimators=cfg.forest_trees,
                 max_features=cfg.forest_max_features,
                 random_state=cfg.seed,
+                engine=cfg.forest_engine,
+                n_jobs=cfg.n_jobs,
             )
         elif regressor == "BayRidge":
             selector = SelectKBest(k=cfg.select_large)
@@ -247,6 +323,8 @@ class RankPredictionExperiment:
             n_estimators=cfg.forest_trees,
             max_features=cfg.forest_max_features,
             random_state=cfg.seed,
+            engine=cfg.forest_engine,
+            n_jobs=cfg.n_jobs,
         )
         model.fit(X_train, y_train)
         return model, space
@@ -257,38 +335,98 @@ class RankPredictionExperiment:
         return np.array([relevance[inst] for inst in self.mag.institutions])
 
     def _stack_training(self, conference: str, by_year) -> tuple[np.ndarray, np.ndarray]:
-        X = np.vstack([by_year[year] for year in self.config.train_years])
+        blocks = [by_year[year] for year in self.config.train_years]
+        if any(isinstance(block, CSRMatrix) for block in blocks):
+            X = CSRMatrix.vstack(
+                [
+                    b if isinstance(b, CSRMatrix) else CSRMatrix.from_dense(b)
+                    for b in blocks
+                ]
+            )
+        else:
+            X = np.vstack(blocks)
         y = np.concatenate(
             [self._targets(conference, year) for year in self.config.train_years]
         )
         return X, y
+
+    def _run_cell(
+        self, conference: str, family: str, regressors
+    ) -> tuple[dict[tuple[str, str, str], float], dict[str, float]]:
+        """One (conference, family) grid cell: features, fits, NDCG."""
+        cfg = self.config
+        telemetry = get_telemetry()
+        ndcg: dict[tuple[str, str, str], float] = {}
+        timings: dict[str, float] = {}
+        with telemetry.span("experiment/cell"):
+            with telemetry.span("phase/rank_" + family):
+                with telemetry.span(f"rank/features/{family}") as span:
+                    by_year = self.feature_family(conference, family)
+                timings[f"features/{family}/{conference}"] = span.elapsed
+                X_train, y_train = self._stack_training(conference, by_year)
+                X_test = by_year[cfg.test_year]
+                y_test = self._targets(conference, cfg.test_year)
+                for regressor in regressors:
+                    with telemetry.span(f"rank/fit/{regressor}"):
+                        predictions = self._fit_predict(
+                            regressor, X_train, y_train, X_test
+                        )
+                    ndcg[(regressor, family, conference)] = ndcg_at(
+                        y_test, predictions, n=cfg.ndcg_n
+                    )
+        return ndcg, timings
 
     def run(
         self,
         families=FEATURE_FAMILIES,
         regressors=REGRESSOR_NAMES,
     ) -> RankPredictionResult:
-        """Run the full grid and collect NDCG\\@n per cell."""
+        """Run the full grid and collect NDCG\\@n per cell.
+
+        With ``config.n_jobs > 1`` and several conferences, the
+        (conference, family) cells fan out over a process pool — one chunk
+        per conference so the per-conference feature reuse keeps working
+        inside each worker — and results are restored in the sequential
+        grid order.  Cell scores are independent of the fan-out (each cell
+        seeds its own models), so any worker count matches ``n_jobs=1``.
+        """
         cfg = self.config
         telemetry = get_telemetry()
-        conferences = cfg.conferences or self.mag.config.conferences
+        conferences = tuple(cfg.conferences or self.mag.config.conferences)
+        n_jobs = resolve_n_jobs(cfg.n_jobs)
         ndcg: dict[tuple[str, str, str], float] = {}
         timings: dict[str, float] = {}
-        for conference in conferences:
-            for family in families:
-                with telemetry.span("phase/rank_" + family):
-                    with telemetry.span(f"rank/features/{family}") as span:
-                        by_year = self.feature_family(conference, family)
-                    timings[f"features/{family}/{conference}"] = span.elapsed
-                    X_train, y_train = self._stack_training(conference, by_year)
-                    X_test = by_year[cfg.test_year]
-                    y_test = self._targets(conference, cfg.test_year)
-                    for regressor in regressors:
-                        with telemetry.span(f"rank/fit/{regressor}"):
-                            predictions = self._fit_predict(
-                                regressor, X_train, y_train, X_test
-                            )
-                        ndcg[(regressor, family, conference)] = ndcg_at(
-                            y_test, predictions, n=cfg.ndcg_n
-                        )
-        return RankPredictionResult(cfg, ndcg, timings)
+        if n_jobs > 1 and len(conferences) > 1:
+            # The grid consumes the workers; cells run forests sequentially
+            # (no nested pools).
+            worker_config = replace(cfg, n_jobs=1, conferences=None)
+            chunks = [
+                [(conference, family) for family in families]
+                for conference in conferences
+            ]
+            with ProcessPoolExecutor(
+                max_workers=min(n_jobs, len(conferences)),
+                initializer=_init_rank_worker,
+                initargs=(self.mag, worker_config),
+            ) as pool:
+                for cell_ndcg, cell_timings, snapshot in pool.map(
+                    _rank_chunk_worker, [(chunk, regressors) for chunk in chunks]
+                ):
+                    ndcg.update(cell_ndcg)
+                    timings.update(cell_timings)
+                    telemetry.merge(snapshot)
+        else:
+            for conference in conferences:
+                for family in families:
+                    cell_ndcg, cell_timings = self._run_cell(
+                        conference, family, regressors
+                    )
+                    ndcg.update(cell_ndcg)
+                    timings.update(cell_timings)
+        ordered = {
+            (regressor, family, conference): ndcg[(regressor, family, conference)]
+            for conference in conferences
+            for family in families
+            for regressor in regressors
+        }
+        return RankPredictionResult(cfg, ordered, timings)

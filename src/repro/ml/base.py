@@ -14,7 +14,15 @@ from repro.exceptions import NotFittedError
 
 
 def check_array(X, name: str = "X", min_samples: int = 1) -> np.ndarray:
-    """Coerce to a 2-D float array and validate shape and finiteness."""
+    """Coerce to a 2-D float array and validate shape and finiteness.
+
+    Sparse inputs (anything exposing ``toarray``, e.g.
+    :class:`repro.core.sparse.CSRMatrix`) are densified here — the single
+    model boundary — so estimators stay plain-numpy while the experiment
+    pipelines pass sparse matrices around freely.
+    """
+    if hasattr(X, "toarray"):
+        X = X.toarray()
     X = np.asarray(X, dtype=np.float64)
     if X.ndim == 1:
         X = X.reshape(-1, 1)

@@ -9,9 +9,29 @@ subset at every split (``max_features``).  Defaults follow the era's
 scikit-learn: regressors consider all features, classifiers ``sqrt``.  The
 experiment pipelines pass ``max_features="sqrt"`` for regressors too when
 the subgraph vocabularies are large; that choice is recorded per experiment.
+
+Engines and parallelism
+-----------------------
+``engine="fast"`` (default) grows all trees level-synchronously through
+:mod:`repro.ml.tree_batched`, amortising numpy dispatch across every
+same-depth node of the whole forest; ``engine="reference"`` fits each tree
+with the plain per-node builder.  Both produce bit-identical estimators.
+
+``n_jobs`` fans tree chunks over a ``ProcessPoolExecutor`` whose
+initializer ships ``X, y`` once per worker (the ``_WORKER_STATE`` pattern
+of :mod:`repro.core.features`).  Per-tree RNG seeds — one for the split
+sampler, one for the bootstrap — are pre-drawn from the sequential stream
+of ``random_state`` *before* any fanning, so every worker count (and both
+engines) yields exactly the trees that ``n_jobs=1`` would have grown:
+predictions and ``feature_importances_`` are bit-identical.  Worker
+:class:`~repro.obs.telemetry.Telemetry` snapshots merge back into the
+parent registry.
 """
 
 from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -23,6 +43,93 @@ from repro.ml.base import (
     check_array,
 )
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.tree_batched import fit_tree_batch
+from repro.obs.telemetry import Telemetry, get_telemetry
+
+ENGINES = ("fast", "reference")
+
+
+def resolve_n_jobs(n_jobs) -> int:
+    """Map an ``n_jobs`` spec to a worker count: ``0``/``None`` = all cores."""
+    if n_jobs is None or n_jobs == 0 or n_jobs == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(n_jobs)
+    if count < 1:
+        raise ValueError(f"n_jobs must be >= 1 (or 0/None for auto), got {n_jobs}")
+    return count
+
+
+def _draw_tree_tasks(
+    random_state: int | None, n_estimators: int
+) -> list[tuple[int, int]]:
+    """Pre-draw every tree's (split seed, bootstrap seed) sequentially.
+
+    This is the PR 2 rng-sharding pattern: the sequential stream is
+    consumed up front, so any partition of the task list across workers
+    reproduces the ``n_jobs=1`` forest exactly.
+    """
+    rng = np.random.default_rng(random_state)
+    tasks = []
+    for _ in range(n_estimators):
+        seed = int(rng.integers(0, 2**31 - 1))
+        boot_seed = int(rng.integers(0, 2**31 - 1))
+        tasks.append((seed, boot_seed))
+    return tasks
+
+
+def _bootstrap_sample(boot_seed: int, n: int, bootstrap: bool) -> np.ndarray:
+    if not bootstrap:
+        return np.arange(n)
+    return np.random.default_rng(boot_seed).integers(0, n, size=n)
+
+
+def _fit_tree_tasks(
+    X: np.ndarray, y: np.ndarray, spec: dict, tasks: list[tuple[int, int]]
+) -> list:
+    """Fit the trees for ``tasks`` with the configured engine, in order."""
+    n = X.shape[0]
+    samples = [
+        (seed, _bootstrap_sample(boot_seed, n, spec["bootstrap"]))
+        for seed, boot_seed in tasks
+    ]
+    params = spec["params"]
+    classes = spec["classes"]
+    if spec["engine"] == "fast":
+        if classes is not None:
+            y_fit = np.searchsorted(classes, y).astype(np.float64)
+            return fit_tree_batch(
+                X, y_fit, DecisionTreeClassifier, params, samples, classes=classes
+            )
+        return fit_tree_batch(X, y, DecisionTreeRegressor, params, samples)
+    tree_cls = DecisionTreeClassifier if classes is not None else DecisionTreeRegressor
+    trees = []
+    for seed, sample in samples:
+        tree = tree_cls(**params, random_state=seed)
+        tree.fit(X[sample], y[sample])
+        trees.append(tree)
+    return trees
+
+
+# Worker-process state: the training matrix and fit spec are shipped once
+# per worker via the pool initializer instead of once per chunk.
+_WORKER_STATE: dict = {}
+
+
+def _init_forest_worker(X: np.ndarray, y: np.ndarray, spec: dict) -> None:
+    _WORKER_STATE["X"] = X
+    _WORKER_STATE["y"] = y
+    _WORKER_STATE["spec"] = spec
+
+
+def _forest_chunk_worker(tasks: list[tuple[int, int]]) -> tuple[list, dict]:
+    """Fit one chunk of trees; ship them back plus worker telemetry."""
+    telemetry = Telemetry()
+    with telemetry.span("forest/chunk"):
+        trees = _fit_tree_tasks(
+            _WORKER_STATE["X"], _WORKER_STATE["y"], _WORKER_STATE["spec"], tasks
+        )
+        telemetry.count("forest/trees_fit", len(tasks))
+    return trees, telemetry.snapshot()
 
 
 class _BaseForest(BaseEstimator):
@@ -35,9 +142,14 @@ class _BaseForest(BaseEstimator):
         max_features=None,
         bootstrap: bool = True,
         random_state: int | None = None,
+        n_jobs: int | None = 1,
+        engine: str = "fast",
     ) -> None:
         if n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        resolve_n_jobs(n_jobs)  # fail fast on a bad spec; resolved again at fit
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
@@ -45,26 +157,57 @@ class _BaseForest(BaseEstimator):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.random_state = random_state
+        self.n_jobs = n_jobs
+        self.engine = engine
         self.estimators_: list = []
         self.feature_importances_: np.ndarray | None = None
 
-    def _make_tree(self, seed: int):
-        raise NotImplementedError
+    def _tree_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+
+    def _fit_spec(self) -> dict:
+        return {
+            "params": self._tree_params(),
+            "engine": self.engine,
+            "bootstrap": self.bootstrap,
+            "classes": getattr(self, "classes_", None),
+        }
 
     def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
-        rng = np.random.default_rng(self.random_state)
-        n = X.shape[0]
-        self.estimators_ = []
-        importances = np.zeros(X.shape[1])
-        for _ in range(self.n_estimators):
-            seed = int(rng.integers(0, 2**31 - 1))
-            tree = self._make_tree(seed)
-            if self.bootstrap:
-                sample = rng.integers(0, n, size=n)
+        telemetry = get_telemetry()
+        n_jobs = resolve_n_jobs(self.n_jobs)
+        tasks = _draw_tree_tasks(self.random_state, self.n_estimators)
+        spec = self._fit_spec()
+        telemetry.annotate("forest/engine", self.engine)
+        telemetry.count("forest/trees", self.n_estimators)
+        with telemetry.span("forest/fit"):
+            if n_jobs == 1 or self.n_estimators < 2 * n_jobs:
+                trees = _fit_tree_tasks(X, y, spec, tasks)
             else:
-                sample = np.arange(n)
-            tree.fit(X[sample], y[sample])
-            self.estimators_.append(tree)
+                chunksize = -(-len(tasks) // n_jobs)  # ceil: one chunk per worker
+                chunks = [
+                    tasks[start : start + chunksize]
+                    for start in range(0, len(tasks), chunksize)
+                ]
+                trees = []
+                with ProcessPoolExecutor(
+                    max_workers=n_jobs,
+                    initializer=_init_forest_worker,
+                    initargs=(X, y, spec),
+                ) as pool:
+                    for chunk_trees, snapshot in pool.map(
+                        _forest_chunk_worker, chunks
+                    ):
+                        trees.extend(chunk_trees)
+                        telemetry.merge(snapshot)
+        self.estimators_ = trees
+        importances = np.zeros(X.shape[1])
+        for tree in trees:  # tree order, so any n_jobs sums identically
             importances += tree.feature_importances_
         total = importances.sum()
         self.feature_importances_ = importances / total if total > 0 else importances
@@ -72,15 +215,6 @@ class _BaseForest(BaseEstimator):
 
 class RandomForestRegressor(_BaseForest, RegressorMixin):
     """Bagged CART regressors; prediction is the mean over trees."""
-
-    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
-        return DecisionTreeRegressor(
-            max_depth=self.max_depth,
-            min_samples_split=self.min_samples_split,
-            min_samples_leaf=self.min_samples_leaf,
-            max_features=self.max_features,
-            random_state=seed,
-        )
 
     def fit(self, X, y) -> "RandomForestRegressor":
         X, y = check_X_y(X, y)
@@ -98,22 +232,15 @@ class RandomForestRegressor(_BaseForest, RegressorMixin):
 class RandomForestClassifier(_BaseForest, ClassifierMixin):
     """Bagged CART classifiers; prediction averages class probabilities.
 
-    Trees may see different bootstrap class subsets, so probabilities are
-    re-aligned to the forest-level ``classes_`` before averaging.
+    Trees may see different bootstrap class subsets (reference engine
+    derives per-tree class axes; the batched engine fits on the forest
+    axis directly), so probabilities are re-aligned to the forest-level
+    ``classes_`` before averaging — the two layouts average identically.
     """
 
     def __init__(self, max_features="sqrt", **kwargs) -> None:
         super().__init__(max_features=max_features, **kwargs)
         self.classes_: np.ndarray | None = None
-
-    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
-        return DecisionTreeClassifier(
-            max_depth=self.max_depth,
-            min_samples_split=self.min_samples_split,
-            min_samples_leaf=self.min_samples_leaf,
-            max_features=self.max_features,
-            random_state=seed,
-        )
 
     def fit(self, X, y) -> "RandomForestClassifier":
         X = check_array(X)

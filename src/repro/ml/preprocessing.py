@@ -57,14 +57,23 @@ class StandardScaler(BaseEstimator):
         return X * self.scale_ + self.mean_
 
 
-def log1p_counts(X) -> np.ndarray:
+def log1p_counts(X):
     """``log(1 + x)`` compression for non-negative count features.
+
+    Sparse count matrices keep their sparsity: ``log1p`` maps 0 to 0, so
+    only the stored values are transformed and the pattern is reused.
 
     Raises
     ------
     ValueError
         If any entry is negative (counts cannot be).
     """
+    from repro.core.sparse import CSRMatrix
+
+    if isinstance(X, CSRMatrix):
+        if np.any(X.data < 0):
+            raise ValueError("log1p_counts expects non-negative counts")
+        return X.with_data(np.log1p(X.data))
     X = check_array(X)
     if np.any(X < 0):
         raise ValueError("log1p_counts expects non-negative counts")
@@ -132,7 +141,10 @@ def train_test_split(
 
     result = []
     for array in arrays:
-        array = np.asarray(array)
+        # Sparse matrices pass through untouched: CSRMatrix supports the
+        # boolean row masks used below, and np.asarray would wreck it.
+        if not hasattr(array, "toarray"):
+            array = np.asarray(array)
         result.extend([array[~test_mask], array[test_mask]])
     return result
 

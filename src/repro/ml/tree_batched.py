@@ -1,0 +1,419 @@
+"""Level-batched tree growing: the forest ``engine="fast"`` builder.
+
+The reference forest grows each tree node by node: every node pays ~20
+numpy dispatches on a shrinking sample, so deep levels with hundreds of
+tiny nodes are dominated by interpreter and dispatch overhead, not
+arithmetic.  This module grows a whole *chunk of trees simultaneously,
+level by level*: all nodes at the current depth — across every tree in the
+chunk — are grouped into size buckets, padded to a common width, and their
+split scans (stable argsort + cumulative-sum impurity) run as single 3-D/4-D
+vectorised operations.  Per-level numpy dispatch is ``O(buckets)`` instead
+of ``O(nodes)``.
+
+Bit-identity with :class:`repro.ml.tree._BaseDecisionTree` is a hard
+contract (asserted by tests/test_ml_forest.py):
+
+* node creation, candidate-feature draws and importance accumulation all
+  happen in breadth-first node order per tree, with each tree using its own
+  ``default_rng(seed)`` — so interleaving trees changes nothing;
+* every floating-point expression (cumulative sums, SSE/Gini scores,
+  midpoint thresholds, ``s/m`` summaries) mirrors the reference formulas
+  elementwise — padded slots hold ``+inf`` feature values (sorted to the
+  end, masked by size validity) and ``0`` targets (identity under the
+  prefix sums that are actually read);
+* the flat argmin tie-break is preserved: within a node the padded score
+  block keeps the reference's row-major ``row * k + col`` ordering, and
+  padded slots are ``inf`` so they never win;
+* bootstrap rows are never materialised — node index sets are positions
+  into the tree's ``sample`` array and gathers go through
+  ``X[sample[positions], features]``, which yields the exact same floats as
+  the reference's ``X[sample]`` copy.
+
+Only the forest should call :func:`fit_tree_batch`; it returns fully
+fitted tree estimator objects that predict through the shared compiled-node
+path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import _Node, _resolve_max_features
+
+#: Soft cap on ``batch * width * candidates`` cells per scan chunk; keeps
+#: peak scratch memory around tens of MB regardless of forest size.
+CELL_BUDGET = 1_000_000
+
+
+class _TreeState:
+    """Per-tree growth state shared by all of the tree's live nodes."""
+
+    __slots__ = ("tree", "rng", "sample", "y_boot", "n", "off", "importances")
+
+    def __init__(self, tree, rng, sample, y_boot, off, importances):
+        self.tree = tree
+        self.rng = rng
+        self.sample = sample
+        self.y_boot = y_boot
+        self.n = int(sample.size)
+        self.off = off  # this tree's slice offset in the concatenated arrays
+        self.importances = importances
+
+
+class _Entry:
+    """One live node: its tree, sample positions and handed-down stats."""
+
+    __slots__ = (
+        "state", "indices", "stats", "parent", "is_right",
+        "node", "node_id", "m", "impurity", "gpos", "feats", "split",
+    )
+
+    def __init__(self, state, indices, stats, parent, is_right):
+        self.state = state
+        self.indices = indices
+        self.stats = stats
+        self.parent = parent
+        self.is_right = is_right
+        self.split = None
+
+
+def fit_tree_batch(X, y, tree_cls, params, tasks, classes=None):
+    """Fit one tree per ``(seed, sample)`` task, level-synchronously.
+
+    ``X``/``y`` must already be validated float64 arrays (the forest runs
+    ``check_X_y`` once).  For classifiers ``classes`` is the forest-level
+    class vector and ``y`` holds class indices; every tree is fitted
+    against the full class axis, which scores identically to the
+    reference's bootstrap-local axis because absent classes contribute
+    exact zeros to every sum.
+    """
+    p = X.shape[1]
+    is_classifier = classes is not None
+    n_classes = int(classes.size) if is_classifier else 0
+    min_samples_split = params.get("min_samples_split", 2)
+    min_samples_leaf = params.get("min_samples_leaf", 1)
+    max_depth = params.get("max_depth")
+    n_candidates = _resolve_max_features(params.get("max_features"), p)
+    all_features = np.arange(p)
+    eye = np.eye(n_classes, dtype=np.float64) if is_classifier else None
+
+    states = []
+    frontier: list[_Entry] = []
+    for i, (seed, sample) in enumerate(tasks):
+        tree = tree_cls(**params, random_state=seed)
+        tree.n_features_ = p
+        tree._nodes = []
+        if is_classifier:
+            tree.classes_ = classes
+        y_boot = y[sample]
+        state = _TreeState(
+            tree, np.random.default_rng(seed), sample, y_boot,
+            i * int(sample.size), np.zeros(p),
+        )
+        states.append(state)
+        frontier.append(
+            _Entry(state, np.arange(state.n), tree._root_stats(y_boot), -1, False)
+        )
+    # Concatenated bootstrap row ids / targets: per-level work gathers from
+    # these with a single fancy index instead of one small gather per node.
+    sample_cat = np.concatenate([s.sample for s in states]).astype(np.int64)
+    y_cat = np.concatenate([s.y_boot for s in states])
+
+    level = 0
+    while frontier:
+        # 1. Materialise this level's nodes in frontier (== BFS) order.
+        #    Node summaries (value, impurity) are computed for the whole
+        #    level at once with the exact reference formulas.
+        m_arr = np.array([e.indices.size for e in frontier], dtype=np.int64)
+        if is_classifier:
+            counts = np.stack([e.stats for e in frontier])
+            values = counts / m_arr[:, None].astype(np.float64)
+            impurities = 1.0 - np.sum(values**2, axis=1)
+            value_list = list(values)  # one (n_classes,) row view per node
+        else:
+            s_arr = np.array([e.stats[0] for e in frontier])
+            sq_arr = np.array([e.stats[1] for e in frontier])
+            values = s_arr / m_arr
+            impurities = sq_arr / m_arr - values * values
+            impurities[impurities < 0.0] = 0.0  # matches the scalar clamp
+            # tolist() is exact for float64; _compile_nodes re-wraps with
+            # np.asarray, so a python float here is bit-identical to the
+            # reference's 0-d array.
+            value_list = values.tolist()
+        imp_list = impurities.tolist()
+        m_list = m_arr.tolist()
+        for i, entry in enumerate(frontier):
+            tree = entry.state.tree
+            entry.m = m_list[i]
+            entry.impurity = imp_list[i]
+            node = _Node(
+                value=value_list[i],
+                impurity=imp_list[i],
+                n_samples=entry.m,
+            )
+            node_id = len(tree._nodes)
+            tree._nodes.append(node)
+            entry.node = node
+            entry.node_id = node_id
+            if entry.parent >= 0:
+                parent = tree._nodes[entry.parent]
+                if entry.is_right:
+                    parent.right = node_id
+                else:
+                    parent.left = node_id
+
+        # 2. Select splittable nodes and draw their candidate features —
+        #    still in BFS order, so each tree's rng stream matches the
+        #    reference builder draw for draw.  The per-node guards run as
+        #    level-wide array ops: class purity straight off the stacked
+        #    stats, target constancy as segmented min == max over one
+        #    concatenated gather.
+        scannable: list[_Entry] = []
+        if max_depth is None or level < max_depth:
+            splittable = m_arr >= min_samples_split
+            if is_classifier:
+                splittable &= np.count_nonzero(counts, axis=1) > 1
+            candidates = [e for i, e in enumerate(frontier) if splittable[i]]
+            if candidates:
+                sizes = np.array([e.m for e in candidates], dtype=np.int64)
+                offs = np.array(
+                    [e.state.off for e in candidates], dtype=np.int64
+                )
+                gpos = np.concatenate([e.indices for e in candidates])
+                gpos += np.repeat(offs, sizes)
+                starts = np.zeros(sizes.size, dtype=np.int64)
+                np.cumsum(sizes[:-1], out=starts[1:])
+                if is_classifier:
+                    constant = [False] * sizes.size
+                else:
+                    yv = y_cat[gpos]
+                    constant = (
+                        np.minimum.reduceat(yv, starts)
+                        == np.maximum.reduceat(yv, starts)
+                    ).tolist()
+                starts_list = starts.tolist()
+                sizes_list = sizes.tolist()
+                for i, entry in enumerate(candidates):
+                    if constant[i]:
+                        continue
+                    entry.gpos = gpos[starts_list[i] : starts_list[i] + sizes_list[i]]
+                    if n_candidates < p:
+                        entry.feats = entry.state.rng.choice(
+                            p, size=n_candidates, replace=False
+                        )
+                    else:
+                        entry.feats = all_features
+                    scannable.append(entry)
+
+        # 3. Bucket nodes of similar size (power-of-two classes) and run the
+        #    vectorised split scans, padding only to each bucket's true max
+        #    width — at the root level every node has the same m, so the
+        #    biggest scans carry no padding at all.
+        buckets: dict[int, list[_Entry]] = {}
+        for entry in scannable:
+            buckets.setdefault((entry.m - 1).bit_length(), []).append(entry)
+        for _, entries in sorted(buckets.items()):
+            cap = max(e.m for e in entries)
+            _scan_bucket(
+                X, entries, cap, sample_cat, y_cat,
+                min_samples_leaf, is_classifier, n_classes, eye,
+            )
+
+        # 4. Apply the chosen splits in BFS order: record the split on the
+        #    node, enqueue children, accumulate importances.
+        next_frontier: list[_Entry] = []
+        for entry in scannable:
+            if entry.split is None:
+                continue
+            feature, threshold, score, row, order_col, left_stats, right_stats = (
+                entry.split
+            )
+            node = entry.node
+            node.feature = feature
+            node.threshold = threshold
+            # order_col is a permutation of 0..m-1; picking the ascending
+            # positions of each side from the ascending entry.indices IS the
+            # sorted child partition the reference builds with np.sort.
+            left_idx = entry.indices[np.sort(order_col[: row + 1])]
+            right_idx = entry.indices[np.sort(order_col[row + 1 : entry.m])]
+            next_frontier.append(
+                _Entry(entry.state, left_idx, left_stats, entry.node_id, False)
+            )
+            next_frontier.append(
+                _Entry(entry.state, right_idx, right_stats, entry.node_id, True)
+            )
+            entry.state.importances[feature] += (
+                entry.impurity * entry.m - score
+            ) / entry.state.n
+        frontier = next_frontier
+        level += 1
+
+    fitted = []
+    for state in states:
+        tree = state.tree
+        total = state.importances.sum()
+        tree.feature_importances_ = (
+            state.importances / total if total > 0 else state.importances
+        )
+        tree._compile_nodes()
+        tree._fitted = True
+        fitted.append(tree)
+    return fitted
+
+
+def _scan_bucket(
+    X, entries, cap, sample_cat, y_cat,
+    min_samples_leaf, is_classifier, n_classes, eye,
+):
+    """Vectorised split scan for same-width nodes; writes ``entry.split``."""
+    k = entries[0].feats.size
+    width = k * (n_classes if is_classifier else 1)
+    chunk = max(1, CELL_BUDGET // max(1, cap * width))
+    for start in range(0, len(entries), chunk):
+        _scan_chunk(
+            X,
+            entries[start : start + chunk],
+            cap,
+            sample_cat,
+            y_cat,
+            min_samples_leaf,
+            is_classifier,
+            eye,
+        )
+
+
+def _scan_chunk(X, entries, cap, sample_cat, y_cat, min_samples_leaf,
+                is_classifier, eye):
+    B = len(entries)
+    k = entries[0].feats.size
+    m_arr = np.array([e.m for e in entries], dtype=np.int64)
+    feats = np.stack([e.feats for e in entries])  # (B, k)
+    # One concatenated gather fills every node's rows/targets at once; the
+    # boolean scatter through ``fill`` walks row-major, matching the
+    # concatenation order exactly.
+    gcat = np.concatenate([e.gpos for e in entries])
+    pad = np.arange(cap)[None, :] >= m_arr[:, None]
+    fill = ~pad
+    rows = np.zeros((B, cap), dtype=np.int64)
+    rows[fill] = sample_cat[gcat]
+    sub = X[rows[:, :, None], feats[:, None, :]]  # (B, cap, k)
+    sub[pad] = np.inf  # padding sorts last; masked out by size validity
+    order = np.argsort(sub, axis=1, kind="stable")
+    b_idx = np.arange(B)[:, None, None]
+    xs = sub[b_idx, order, np.arange(k)[None, None, :]]
+
+    # Cumulative scans over the full padded block (zero-padded targets are
+    # exact identities under prefix sums)...
+    with np.errstate(over="ignore"):
+        if is_classifier:
+            targets = np.zeros((B, cap, eye.shape[0]))
+            targets[fill] = eye[y_cat[gcat].astype(np.int64)]
+            ys = targets[b_idx, order]  # (B, cap, k, n_classes)
+            ccum = np.cumsum(ys, axis=1)
+            scan = ccum
+        else:
+            ypad = np.zeros((B, cap), dtype=np.float64)
+            ypad[fill] = y_cat[gcat]
+            ys = ypad[b_idx, order]  # (B, cap, k)
+            csum = np.cumsum(ys, axis=1)
+            csq = np.cumsum(ys**2, axis=1)
+            scan = (csum, csq)
+
+    # ... but impurity scores only at *valid* split positions.  On the
+    # heavy-tailed count features most positions sit inside runs of tied
+    # values, so this gather-based scoring skips the bulk of the reference
+    # formula's arithmetic while reproducing it exactly where it counts.
+    left_sizes = np.arange(1, cap)[None, :]
+    size_ok = (left_sizes >= min_samples_leaf) & (
+        (m_arr[:, None] - left_sizes) >= min_samples_leaf
+    )  # padded rows have non-positive right size -> invalid
+    distinct = xs[:, 1:, :] != xs[:, :-1, :]
+    valid = (distinct & size_ok[:, :, None]).reshape(B, -1)
+    batch_ids, flat = np.nonzero(valid)
+    if batch_ids.size == 0:
+        for entry in entries:
+            entry.split = None
+        return
+    r = flat // k
+    c = flat % k
+    ln = (r + 1).astype(np.float64)  # == reference's left_n at this row
+    rn = m_arr[batch_ids] - ln
+    with np.errstate(over="ignore", invalid="ignore"):
+        if is_classifier:
+            lc = ccum[batch_ids, r, c]  # (V, n_classes)
+            rc = ccum[batch_ids, cap - 1, c] - lc
+            left_gini = ln - np.sum(lc**2, axis=1) / ln
+            right_gini = rn - np.sum(rc**2, axis=1) / rn
+            scores_v = left_gini + right_gini
+        else:
+            ls = csum[batch_ids, r, c]
+            lq = csq[batch_ids, r, c]
+            ts = csum[batch_ids, cap - 1, c]
+            tq = csq[batch_ids, cap - 1, c]
+            left_sse = lq - ls**2 / ln
+            right_sse = (tq - lq) - (ts - ls) ** 2 / rn
+            scores_v = left_sse + right_sse
+
+    # Segment-wise first-minimum: batch_ids/flat arrive in row-major order,
+    # so taking the smallest flat position among the minima reproduces the
+    # reference's ``argmin`` row*k+col tie-break.  A NaN score (targets
+    # astronomically large) makes the reference argmin land on the NaN and
+    # fail its isfinite check; mirror that by disqualifying the node.
+    counts = np.bincount(batch_ids, minlength=B)
+    present = np.flatnonzero(counts)
+    starts = np.searchsorted(batch_ids, present)
+    min_scores = np.minimum.reduceat(scores_v, starts)
+    at_min = scores_v == np.repeat(min_scores, counts[present])
+    sentinel = cap * k
+    first_at_min = np.minimum.reduceat(np.where(at_min, flat, sentinel), starts)
+    nan_any = np.isnan(scores_v)
+    best = np.full(B, -1, dtype=np.int64)
+    best_scores = np.full(B, np.inf)
+    best[present] = first_at_min
+    best_scores[present] = min_scores
+    usable = (best >= 0) & (best < sentinel) & np.isfinite(best_scores)
+    if nan_any.any():
+        usable &= ~(np.bincount(batch_ids, weights=nan_any, minlength=B) > 0)
+    best = np.where(best >= 0, best, 0)  # placeholder rows; masked by usable
+    best_rows = best // k
+    best_cols = best % k
+    # Vectorised extraction of the per-node winners: thresholds, chosen
+    # features and the child statistics read off the cumulative scans.
+    batch = np.arange(B)
+    thresholds = (
+        (xs[batch, best_rows, best_cols] + xs[batch, best_rows + 1, best_cols]) / 2.0
+    ).tolist()
+    chosen = feats[batch, best_cols].tolist()
+    scores_out = best_scores.tolist()
+    if is_classifier:
+        left_counts = scan[batch, best_rows, best_cols]  # (B, n_classes)
+        right_counts = scan[batch, -1, best_cols] - left_counts
+    else:
+        csum, csq = scan
+        left_s = csum[batch, best_rows, best_cols].tolist()
+        left_sq = csq[batch, best_rows, best_cols].tolist()
+        right_s = (csum[batch, -1, best_cols] - csum[batch, best_rows, best_cols]).tolist()
+        right_sq = (csq[batch, -1, best_cols] - csq[batch, best_rows, best_cols]).tolist()
+
+    usable_list = usable.tolist()
+    rows_list = best_rows.tolist()
+    cols_list = best_cols.tolist()
+    for b, entry in enumerate(entries):
+        if not usable_list[b]:
+            entry.split = None
+            continue
+        if is_classifier:
+            left_stats = left_counts[b]
+            right_stats = right_counts[b]
+        else:
+            left_stats = (left_s[b], left_sq[b])
+            right_stats = (right_s[b], right_sq[b])
+        entry.split = (
+            chosen[b],
+            thresholds[b],
+            scores_out[b],
+            rows_list[b],
+            order[b, : entry.m, cols_list[b]],  # padding sorts last; first m real
+            left_stats,
+            right_stats,
+        )

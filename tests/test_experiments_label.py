@@ -127,3 +127,39 @@ class TestExperiment:
         graph = HeteroGraph.from_edges({"a": "A", "b": "B"}, [])
         with pytest.raises(ValueError):
             LabelPredictionExperiment(graph, LabelTaskConfig(per_label=5))
+
+
+class TestSweepParallelParity:
+    """Pre-drawn split seeds make the fan-out bit-identical to serial."""
+
+    def _sweep(self, load_graph, **overrides):
+        config = LabelTaskConfig(
+            per_label=10,
+            emax=2,
+            n_repeats=2,
+            train_fractions=(0.5, 0.9),
+            embedding_params=EmbeddingParams(
+                dim=8, num_walks=2, walk_length=8, window=3, line_samples=2_000
+            ),
+            seed=0,
+            **overrides,
+        )
+        experiment = LabelPredictionExperiment(load_graph, config)
+        return experiment.run_training_sweep(features=("subgraph", "deepwalk"))
+
+    def test_parallel_sweep_scores_identical(self, load_graph):
+        serial = self._sweep(load_graph, n_jobs=1)
+        parallel = self._sweep(load_graph, n_jobs=2)
+        assert parallel.scores == serial.scores
+        assert list(parallel.scores) == list(serial.scores)
+
+    def test_sparse_layout_scores_identical(self, load_graph):
+        dense = self._sweep(load_graph, layout="dense")
+        sparse = self._sweep(load_graph, layout="sparse")
+        assert sparse.scores == dense.scores
+
+    def test_layout_validation(self, load_graph):
+        with pytest.raises(ValueError):
+            LabelPredictionExperiment(
+                load_graph, LabelTaskConfig(layout="csc")
+            )

@@ -126,3 +126,60 @@ class TestImportancePath:
         model, space = experiment.fit_forest_on_family("KDD", "classic")
         assert space is None
         assert model.feature_importances_ is not None
+
+
+class TestSparseAndParallelParity:
+    """The sparse layout, feature reuse, the batched forest engine and the
+    process grid fan-out must all reproduce the sequential dense scores."""
+
+    @pytest.fixture(scope="class")
+    def two_conference_world(self):
+        return SyntheticMAG(
+            MagConfig(
+                num_institutions=10,
+                authors_per_institution=3,
+                papers_per_conference_year=12,
+                conferences=("KDD", "ICML"),
+                years=tuple(range(2012, 2016)),
+                seed=5,
+            )
+        )
+
+    def _run(self, mag, **overrides):
+        config = RankTaskConfig(
+            train_years=(2013, 2014),
+            test_year=2015,
+            emax=2,
+            forest_trees=10,
+            seed=0,
+            **overrides,
+        )
+        return RankPredictionExperiment(mag, config).run(
+            families=("classic", "subgraph", "combined"),
+            regressors=("LinRegr", "RanForest"),
+        )
+
+    def test_sparse_layout_scores_identical(self, two_conference_world):
+        dense = self._run(two_conference_world, layout="dense")
+        sparse = self._run(two_conference_world, layout="sparse")
+        assert sparse.ndcg == dense.ndcg
+
+    def test_no_reuse_scores_identical(self, two_conference_world):
+        reused = self._run(two_conference_world, reuse_features=True)
+        rebuilt = self._run(two_conference_world, reuse_features=False)
+        assert rebuilt.ndcg == reused.ndcg
+
+    def test_parallel_grid_scores_and_order_identical(self, two_conference_world):
+        serial = self._run(two_conference_world, n_jobs=1)
+        parallel = self._run(two_conference_world, n_jobs=2)
+        assert parallel.ndcg == serial.ndcg
+        assert list(parallel.ndcg) == list(serial.ndcg)
+
+    def test_forest_engines_scores_identical(self, two_conference_world):
+        fast = self._run(two_conference_world, forest_engine="fast")
+        reference = self._run(two_conference_world, forest_engine="reference")
+        assert reference.ndcg == fast.ndcg
+
+    def test_layout_validation(self, two_conference_world):
+        with pytest.raises(ValueError):
+            self._run(two_conference_world, layout="csc")

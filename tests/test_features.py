@@ -292,3 +292,66 @@ class TestFeatureSpaceUtilities:
     def test_prune_validation(self):
         with pytest.raises(FeatureError):
             FeatureSpace(["a"]).prune([], min_nodes=0)
+
+
+class TestSparseLayout:
+    """``layout="sparse"`` is a bit-exact reformulation of the dense path."""
+
+    def _censuses(self):
+        from collections import Counter
+
+        return [
+            Counter({"a": 3, "c": 1}),
+            Counter(),
+            Counter({"b": 2, "unseen": 9}),
+            Counter({"a": 1, "b": 1, "c": 1}),
+        ]
+
+    def test_to_matrix_layouts_agree_exactly(self):
+        space = FeatureSpace(["a", "b", "c"])
+        censuses = self._censuses()
+        dense = space.to_matrix(censuses)
+        sparse = space.to_matrix(censuses, layout="sparse")
+        assert np.array_equal(sparse.toarray(), dense)
+
+    def test_to_matrix_rejects_unknown_layout(self):
+        with pytest.raises(FeatureError):
+            FeatureSpace(["a"]).to_matrix([], layout="csc")
+
+    def test_prune_from_csr_matches_counters(self):
+        space = FeatureSpace(["a", "b", "c"])
+        censuses = self._censuses()
+        from_counters = space.prune(censuses, min_nodes=2)
+        from_csr = space.prune(
+            space.to_matrix(censuses, layout="sparse"), min_nodes=2
+        )
+        assert from_csr.keys == from_counters.keys
+
+    def test_prune_ignores_unindexed_keys(self):
+        """Keys outside the space's vocabulary (e.g. codes from masked
+        censuses) must not count toward support — and must not survive."""
+        from collections import Counter
+
+        space = FeatureSpace(["a"])
+        censuses = [Counter({"a": 1, "ghost": 5}), Counter({"ghost": 2})]
+        pruned = space.prune(censuses, min_nodes=1)
+        assert pruned.keys == ("a",)
+
+    def test_prune_csr_column_mismatch(self):
+        from repro.core.sparse import CSRMatrix
+
+        space = FeatureSpace(["a", "b"])
+        wrong = CSRMatrix.from_dense(np.zeros((2, 3)))
+        with pytest.raises(FeatureError):
+            space.prune(wrong)
+
+    def test_extractor_sparse_layout_matches_dense(self, publication_graph):
+        config = CensusConfig(max_edges=3)
+        nodes = list(range(4))
+        dense = SubgraphFeatureExtractor(config).fit_transform(
+            publication_graph, nodes
+        )
+        sparse = SubgraphFeatureExtractor(config).fit_transform(
+            publication_graph, nodes, layout="sparse"
+        )
+        assert np.array_equal(sparse.matrix.toarray(), dense.matrix)

@@ -101,3 +101,68 @@ class TestClassifierForest:
     def test_y_mismatch(self):
         with pytest.raises(ValueError):
             RandomForestClassifier().fit(np.ones((5, 2)), np.zeros(4))
+
+
+class TestEnginesAndParallelism:
+    """The batched engine and the process fan-out are bit-exact
+    reformulations of the sequential reference builder."""
+
+    def test_fast_engine_matches_reference_regressor(self):
+        X, y = _friedmanish(n=150)
+        fast = RandomForestRegressor(
+            n_estimators=15, max_features="sqrt", random_state=4, engine="fast"
+        ).fit(X, y)
+        reference = RandomForestRegressor(
+            n_estimators=15, max_features="sqrt", random_state=4, engine="reference"
+        ).fit(X, y)
+        assert np.array_equal(fast.predict(X), reference.predict(X))
+        assert np.array_equal(
+            fast.feature_importances_, reference.feature_importances_
+        )
+
+    def test_fast_engine_matches_reference_classifier(self):
+        X, y = _friedmanish(n=150)
+        labels = (y > np.median(y)).astype(int)
+        fast = RandomForestClassifier(
+            n_estimators=15, random_state=4, engine="fast"
+        ).fit(X, labels)
+        reference = RandomForestClassifier(
+            n_estimators=15, random_state=4, engine="reference"
+        ).fit(X, labels)
+        assert np.array_equal(fast.predict_proba(X), reference.predict_proba(X))
+        assert np.array_equal(
+            fast.feature_importances_, reference.feature_importances_
+        )
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_regressor_n_jobs_bit_identical(self, n_jobs):
+        X, y = _friedmanish(n=120)
+        serial = RandomForestRegressor(n_estimators=8, random_state=7).fit(X, y)
+        parallel = RandomForestRegressor(
+            n_estimators=8, random_state=7, n_jobs=n_jobs
+        ).fit(X, y)
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+        assert np.array_equal(
+            serial.feature_importances_, parallel.feature_importances_
+        )
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_classifier_n_jobs_bit_identical(self, n_jobs):
+        X, y = _friedmanish(n=120)
+        labels = (y > np.median(y)).astype(int)
+        serial = RandomForestClassifier(n_estimators=8, random_state=7).fit(X, labels)
+        parallel = RandomForestClassifier(
+            n_estimators=8, random_state=7, n_jobs=n_jobs
+        ).fit(X, labels)
+        assert np.array_equal(
+            serial.predict_proba(X), parallel.predict_proba(X)
+        )
+        assert np.array_equal(
+            serial.feature_importances_, parallel.feature_importances_
+        )
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(engine="warp")
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_jobs=-1)

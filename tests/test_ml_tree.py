@@ -27,6 +27,15 @@ class TestMaxFeaturesSpec:
     def test_int_clamped(self):
         assert _resolve_max_features(100, 10) == 10
 
+    def test_small_fraction_clamps_to_one(self):
+        # Regression: 0.01 * 10 would round to 0 candidate columns and the
+        # builder would never find a split; the resolver must keep >= 1.
+        assert _resolve_max_features(0.01, 10) == 1
+        assert _resolve_max_features(0.05, 12) == 1
+
+    def test_full_fraction_means_all(self):
+        assert _resolve_max_features(1.0, 10) == 10
+
     def test_bad_specs(self):
         with pytest.raises(ValueError):
             _resolve_max_features(0, 10)
@@ -34,6 +43,16 @@ class TestMaxFeaturesSpec:
             _resolve_max_features(1.5, 10)
         with pytest.raises(ValueError):
             _resolve_max_features("weird", 10)
+
+    def test_non_positive_float_raises(self):
+        with pytest.raises(ValueError):
+            _resolve_max_features(0.0, 10)
+        with pytest.raises(ValueError):
+            _resolve_max_features(-0.3, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            _resolve_max_features(True, 10)
 
 
 class TestRegressor:

@@ -3,8 +3,11 @@
 Everything under ``src/repro/`` must use the ``repro.*`` logger hierarchy
 (:mod:`repro.obs.log`) for diagnostics.  The only sanctioned ``print``
 calls are the CLI's result/table rendering in ``cli.py`` — stdout is that
-command's *output*, stderr its diagnostics.  This test is the CI guard
-promised in docs/observability.md.
+command's *output*, stderr its diagnostics.  The same split applies to the
+``benchmarks/`` tree: ``test_*.py`` bodies print the paper-style tables
+they regenerate (their product, under ``pytest -s``), but shared fixtures
+and helpers (``conftest.py`` etc.) must stay silent.  This test is the CI
+guard promised in docs/observability.md.
 """
 
 from __future__ import annotations
@@ -12,7 +15,9 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+BENCHMARKS = REPO / "benchmarks"
 
 #: Files whose stdout IS their product: the CLI prints tables/results.
 ALLOWED = {"cli.py"}
@@ -22,16 +27,24 @@ ALLOWED = {"cli.py"}
 BARE_PRINT = re.compile(r"(?<![\w.])print\(")
 
 
+def _scan(path: Path, root: Path):
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            continue
+        if BARE_PRINT.search(line):
+            yield f"{path.relative_to(root)}:{lineno}: {stripped}"
+
+
 def iter_offenders():
     for path in sorted(SRC.rglob("*.py")):
         if path.name in ALLOWED:
             continue
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            stripped = line.lstrip()
-            if stripped.startswith("#"):
-                continue
-            if BARE_PRINT.search(line):
-                yield f"{path.relative_to(SRC.parent)}:{lineno}: {stripped}"
+        yield from _scan(path, SRC.parent)
+    for path in sorted(BENCHMARKS.rglob("*.py")):
+        if path.name.startswith("test_"):
+            continue  # bench bodies render their tables to stdout
+        yield from _scan(path, REPO)
 
 
 def test_no_bare_print_outside_cli():
