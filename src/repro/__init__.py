@@ -15,6 +15,11 @@ The package is organised as:
 * :mod:`repro.experiments` — end-to-end pipelines reproducing every table
   and figure of the evaluation section.
 * :mod:`repro.io` — serialisation of labelled graphs.
+* :mod:`repro.runtime` — the unified execution runtime: the
+  :class:`~repro.runtime.context.RunContext` every layer accepts as
+  ``ctx=``, the content-addressed
+  :class:`~repro.runtime.store.ArtifactStore`, and the declared CLI
+  pipeline stages (see ``docs/architecture.md``).
 
 Quickstart::
 
@@ -38,15 +43,18 @@ from repro.core import (
     subgraph_census,
 )
 from repro.exceptions import ReproError
+from repro.runtime import ArtifactStore, RunContext
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "CensusConfig",
     "FeatureSpace",
     "HeteroGraph",
     "LabelSet",
     "ReproError",
+    "RunContext",
     "SubgraphFeatureExtractor",
     "SubgraphFeatures",
     "subgraph_census",

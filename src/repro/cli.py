@@ -19,8 +19,18 @@ Results (tables, matrices, counts) go to stdout via ``print``;
 diagnostics go to stderr through :mod:`repro.obs.log` and are controlled
 by ``--log-level``/``-v``.  Every analysis command accepts
 ``--telemetry-out run.json`` to write a JSON run manifest (config,
-engine/n_jobs provenance, cache hit rates, per-phase wall clock, peak
+engine/n_jobs provenance, cache hit rates, per-stage wall clock, peak
 RSS — see ``docs/observability.md``).
+
+Commands execute as declared pipeline stages (``dataset → graph →
+census → features → embed → experiment``, see
+:mod:`repro.runtime.pipeline`) running under one
+:class:`~repro.runtime.context.RunContext`.  ``--artifact-store PATH``
+attaches a content-addressed :class:`~repro.runtime.store.ArtifactStore`
+memoising census counters, walk corpora, embedding matrices, and feature
+matrices across runs, so a warm rerun skips every computed stage;
+``--census-cache`` remains as a deprecated alias (see
+``docs/architecture.md``).
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.obs import (
     get_telemetry,
     write_manifest,
 )
+from repro.runtime import ArtifactStore, Pipeline, RunContext
 
 logger = get_logger(__name__)
 
@@ -68,48 +79,63 @@ def _census_config(args) -> CensusConfig:
     )
 
 
-def _open_cache(path: str | None) -> CensusCache | None:
-    if not path:
-        return None
-    cache = CensusCache(path)
-    get_telemetry().annotate("cache/path", path)
-    return cache
+def _build_context(args) -> RunContext:
+    """Construct the :class:`RunContext` a command's pipeline runs under.
+
+    ``--artifact-store`` opens (or creates) the content-addressed store;
+    ``--census-cache`` is honoured as a deprecated alias for it.  Engine,
+    worker count, and seed come from the command's own flags when it
+    defines them, so every stage sees one consistent execution policy.
+    """
+    store_path = getattr(args, "artifact_store", None)
+    legacy_path = getattr(args, "census_cache", None)
+    if legacy_path and not store_path:
+        logger.debug("--census-cache is a deprecated alias for --artifact-store")
+        store_path = legacy_path
+    store = None
+    if store_path:
+        store = ArtifactStore(store_path)
+        get_telemetry().annotate("cache/path", str(store_path))
+    return RunContext(
+        engine=getattr(args, "engine", None),
+        n_jobs=getattr(args, "n_jobs", None),
+        seed=getattr(args, "seed", None),
+        store=store,
+    )
 
 
-def _extractor(args, config: CensusConfig) -> SubgraphFeatureExtractor:
-    """Build the extractor shared by the census/features commands,
-    honouring ``--n-jobs`` and the opt-in ``--census-cache`` file."""
-    cache = _open_cache(args.census_cache)
-    return SubgraphFeatureExtractor(config, n_jobs=args.n_jobs, cache=cache)
+def _save_store(args, ctx: RunContext) -> None:
+    """Persist the run's artifact store (if any) and log a summary.
 
-
-def _save_cache(cache: CensusCache | None) -> None:
-    if cache is not None and cache.path is not None:
-        cache.save()
+    Runs opened through the deprecated ``--census-cache`` alias keep the
+    historical census-cache log line, whose counts cover just the census
+    stage; ``--artifact-store`` runs summarise every stage.
+    """
+    store = ctx.store
+    if store is None or store.path is None:
+        return
+    store.save()
+    if getattr(args, "artifact_store", None):
+        logger.info(
+            "artifact store: %d entries (%d hits, %d misses) -> %s",
+            len(store),
+            store.hits,
+            store.misses,
+            store.path,
+        )
+    else:
+        cache = CensusCache.over(store)
         logger.info(
             "census cache: %d entries (%d hits, %d misses) -> %s",
             len(cache),
             cache.hits,
             cache.misses,
-            cache.path,
+            store.path,
         )
 
 
 def _csv(value: str, caster=str) -> list:
     return [caster(item) for item in value.split(",") if item]
-
-
-def _annotate_experiment(telemetry, engine=None, n_jobs=None, layout=None) -> None:
-    """Record resolved experiment provenance so ``--telemetry-out``
-    manifests show exactly which pipeline variant produced the numbers."""
-    from repro.ml.forest import resolve_n_jobs
-
-    if engine is not None:
-        telemetry.annotate("experiment/engine", engine)
-    if n_jobs is not None:
-        telemetry.annotate("experiment/n_jobs", resolve_n_jobs(n_jobs))
-    if layout is not None:
-        telemetry.annotate("experiment/layout", layout)
 
 
 def cmd_info(args) -> int:
@@ -133,11 +159,15 @@ def cmd_connectivity(args) -> int:
 
 
 def cmd_census(args) -> int:
-    graph = _load_graph(args.graph)
+    ctx = _build_context(args)
+    pipeline = Pipeline("census", ctx)
+    with pipeline.stage("dataset"):
+        graph = _load_graph(args.graph)
     config = _census_config(args)
-    extractor = _extractor(args, config)
-    counts = extractor.census_many(graph, [graph.index(args.root)])[0]
-    _save_cache(extractor.cache)
+    extractor = SubgraphFeatureExtractor(config, ctx=ctx)
+    with pipeline.stage("census"):
+        counts = extractor.census_many(graph, [graph.index(args.root)])[0]
+    _save_store(args, ctx)
     labelset = effective_labelset(graph, config)
     for code, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
         line = f"{count}\t{code_to_string(code, labelset)}"
@@ -154,15 +184,21 @@ def cmd_census(args) -> int:
 
 
 def cmd_features(args) -> int:
-    graph = _load_graph(args.graph)
+    ctx = _build_context(args)
+    pipeline = Pipeline("features", ctx)
+    with pipeline.stage("dataset"):
+        graph = _load_graph(args.graph)
     config = _census_config(args)
     names = _csv(args.nodes)
     if not names:
         raise SystemExit("error: --nodes must list at least one node id")
     nodes = [graph.index(name) for name in names]
-    extractor = _extractor(args, config)
-    features = extractor.fit_transform(graph, nodes)
-    _save_cache(extractor.cache)
+    extractor = SubgraphFeatureExtractor(config, ctx=ctx)
+    # The census stage runs inside fit_transform (and is skipped entirely
+    # when the store already holds this feature matrix).
+    with pipeline.stage("features"):
+        features = extractor.fit_transform(graph, nodes)
+    _save_store(args, ctx)
     write_features_json(features, effective_labelset(graph, config), args.out)
     print(
         f"wrote {features.matrix.shape[0]} x {features.matrix.shape[1]} "
@@ -178,7 +214,10 @@ def cmd_embed(args) -> int:
 
     from repro.experiments.common import EmbeddingParams, embedding_matrix
 
-    graph = _load_graph(args.graph)
+    ctx = _build_context(args)
+    pipeline = Pipeline("embed", ctx)
+    with pipeline.stage("dataset"):
+        graph = _load_graph(args.graph)
     params = EmbeddingParams(
         dim=args.dim,
         num_walks=args.num_walks,
@@ -189,16 +228,17 @@ def cmd_embed(args) -> int:
         q=args.q,
         line_samples=args.line_samples,
     )
-    with get_telemetry().span(f"phase/embed_{args.method}"):
-        matrix = embedding_matrix(
-            graph,
-            np.arange(graph.num_nodes),
-            args.method,
-            params,
-            seed=args.seed,
-            engine=args.engine,
-            n_jobs=args.n_jobs,
-        )
+    with pipeline.stage("embed"):
+        with get_telemetry().span(f"phase/embed_{args.method}"):
+            matrix = embedding_matrix(
+                graph,
+                np.arange(graph.num_nodes),
+                args.method,
+                params,
+                seed=args.seed,
+                ctx=ctx,
+            )
+    _save_store(args, ctx)
     out = Path(args.out)
     if out.suffix == ".npy":
         np.save(out, matrix)
@@ -222,7 +262,10 @@ def cmd_runtime(args) -> int:
     from repro.experiments.reporting import render_table3
     from repro.experiments.runtime import runtime_report
 
-    graph = _load_graph(args.graph)
+    ctx = _build_context(args)
+    pipeline = Pipeline("runtime", ctx)
+    with pipeline.stage("dataset"):
+        graph = _load_graph(args.graph)
     if graph.num_nodes == 0:
         raise SystemExit("error: graph has no nodes")
     rng = np.random.default_rng(args.seed)
@@ -232,21 +275,21 @@ def cmd_runtime(args) -> int:
     params = (
         EmbeddingParams.paper() if args.preset == "paper" else EmbeddingParams.fast()
     )
-    cache = _open_cache(args.census_cache)
-    report = runtime_report(
-        Path(args.graph).stem,
-        graph,
-        [int(r) for r in roots],
-        emax=args.emax,
-        dmax_percentile=args.dmax_percentile,
-        embedding_params=params,
-        seed=args.seed,
-        engine=args.engine,
-        embedding_engine=args.engine,
-        embedding_n_jobs=args.n_jobs,
-        census_cache=cache,
-    )
-    _save_cache(cache)
+    with pipeline.stage("experiment"):
+        report = runtime_report(
+            Path(args.graph).stem,
+            graph,
+            [int(r) for r in roots],
+            emax=args.emax,
+            dmax_percentile=args.dmax_percentile,
+            embedding_params=params,
+            seed=args.seed,
+            engine=args.engine,
+            embedding_engine=args.engine,
+            embedding_n_jobs=args.n_jobs,
+            ctx=ctx,
+        )
+    _save_store(args, ctx)
     print(render_table3([report]))
     return 0
 
@@ -281,10 +324,11 @@ def cmd_rank(args) -> int:
         forest_engine=args.engine,
         n_jobs=args.n_jobs,
     )
-    telemetry = get_telemetry()
-    _annotate_experiment(telemetry, engine=args.engine, n_jobs=args.n_jobs, layout=args.layout)
-    with telemetry.span("phase/build_world"):
-        mag = SyntheticMAG(mag_config)
+    ctx = _build_context(args)
+    pipeline = Pipeline("rank", ctx)
+    with pipeline.stage("dataset"):
+        with get_telemetry().span("phase/build_world"):
+            mag = SyntheticMAG(mag_config)
     logger.info(
         "rank world: %d institutions, %d conferences, years %d-%d",
         mag_config.num_institutions,
@@ -292,8 +336,10 @@ def cmd_rank(args) -> int:
         min(task.train_years),
         task.test_year,
     )
-    experiment = RankPredictionExperiment(mag, task)
-    result = experiment.run(families=families, regressors=regressors)
+    experiment = RankPredictionExperiment(mag, task, ctx=ctx)
+    with pipeline.stage("experiment"):
+        result = experiment.run(families=families, regressors=regressors)
+    _save_store(args, ctx)
     print(render_table1(result, families=families))
     if args.per_conference:
         print()
@@ -309,7 +355,10 @@ def cmd_label(args) -> int:
     )
     from repro.experiments.reporting import render_sweep
 
-    graph = _load_graph(args.graph)
+    ctx = _build_context(args)
+    pipeline = Pipeline("label", ctx)
+    with pipeline.stage("dataset"):
+        graph = _load_graph(args.graph)
     features = tuple(_csv(args.features)) if args.features else FEATURE_TYPES
     config = LabelTaskConfig(
         per_label=args.per_label,
@@ -320,10 +369,10 @@ def cmd_label(args) -> int:
         n_repeats=args.repeats,
         seed=args.seed,
         layout=args.layout,
+        engine=args.engine,
         n_jobs=args.n_jobs,
     )
-    _annotate_experiment(get_telemetry(), n_jobs=args.n_jobs, layout=args.layout)
-    experiment = LabelPredictionExperiment(graph, config)
+    experiment = LabelPredictionExperiment(graph, config, ctx=ctx)
     logger.info(
         "label task: %d sampled roots over %d labels, mode=%s",
         len(experiment.nodes),
@@ -331,14 +380,16 @@ def cmd_label(args) -> int:
         args.mode,
     )
     telemetry = get_telemetry()
-    if args.mode == "removal":
-        with telemetry.span("phase/label_removal"):
-            sweep = experiment.run_label_removal(features=features)
-        title = "Figure 5D-F: macro-F1 vs removed label fraction"
-    else:
-        with telemetry.span("phase/label_sweep"):
-            sweep = experiment.run_training_sweep(features=features)
-        title = "Figure 5A-C: macro-F1 vs training fraction"
+    with pipeline.stage("experiment"):
+        if args.mode == "removal":
+            with telemetry.span("phase/label_removal"):
+                sweep = experiment.run_label_removal(features=features)
+            title = "Figure 5D-F: macro-F1 vs removed label fraction"
+        else:
+            with telemetry.span("phase/label_sweep"):
+                sweep = experiment.run_training_sweep(features=features)
+            title = "Figure 5A-C: macro-F1 vs training fraction"
+    _save_store(args, ctx)
     print(render_sweep(title, sweep))
     return 0
 
@@ -359,8 +410,13 @@ def cmd_collisions(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="heterogeneous subgraph features toolkit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -373,6 +429,21 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="PATH",
                 help="write a JSON run manifest (see docs/observability.md)",
             )
+
+    def store_args(p):
+        p.add_argument(
+            "--artifact-store",
+            default=None,
+            metavar="PATH",
+            help="content-addressed store memoising census, walk, embedding "
+            "and feature artifacts across runs (see docs/architecture.md)",
+        )
+        p.add_argument(
+            "--census-cache",
+            default=None,
+            metavar="PATH",
+            help="deprecated alias for --artifact-store",
+        )
 
     p_info = sub.add_parser("info", help="summarise a graph file")
     p_info.add_argument("graph")
@@ -395,14 +466,9 @@ def build_parser() -> argparse.ArgumentParser:
             dest="n_jobs",
             type=int,
             default=1,
-            help="worker processes for the census",
+            help="worker processes for the census (0 = all cores)",
         )
-        p.add_argument(
-            "--census-cache",
-            default=None,
-            metavar="PATH",
-            help="pickle file memoising per-root censuses across runs",
-        )
+        store_args(p)
         common_args(p)
 
     p_census = sub.add_parser("census", help="rooted census around one node")
@@ -435,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for corpus generation",
         )
         p.add_argument("--seed", type=int, default=0, help="rng seed")
+        store_args(p)
         common_args(p)
 
     p_embed = sub.add_parser("embed", help="train an embedding baseline")
@@ -476,12 +543,6 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("fast", "paper"),
         default="fast",
         help="embedding hyper-parameter preset",
-    )
-    p_runtime.add_argument(
-        "--census-cache",
-        default=None,
-        metavar="PATH",
-        help="serve cached roots (their rows time the memoised lookup)",
     )
     pipeline_args(p_runtime)
     p_runtime.set_defaults(func=cmd_runtime)
@@ -538,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment grid and forests "
         "(results are identical for any value)",
     )
+    store_args(p_rank)
     common_args(p_rank)
     p_rank.set_defaults(func=cmd_rank)
 
@@ -572,6 +634,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="count-feature matrix layout",
     )
     p_label.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="census/embedding pipeline implementation",
+    )
+    p_label.add_argument(
         "--n-jobs",
         "--jobs",
         dest="n_jobs",
@@ -580,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the training sweep "
         "(results are identical for any value)",
     )
+    store_args(p_label)
     common_args(p_label)
     p_label.set_defaults(func=cmd_label)
 

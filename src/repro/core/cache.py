@@ -1,4 +1,4 @@
-"""Opt-in per-root census cache.
+"""Opt-in per-root census cache — now a view over the artifact store.
 
 Rank and label experiments repeatedly census the same roots under the
 same :class:`~repro.core.census.CensusConfig` — ablation grids, repeated
@@ -6,54 +6,51 @@ train/test splits, and the CLI all re-touch overlapping node sets.  The
 census is deterministic given ``(graph, config, root)``, so its results
 can be memoised across calls and even across processes.
 
-Entries are keyed by a content *fingerprint* of the graph (see
-:meth:`repro.core.graph.HeteroGraph.fingerprint`) plus the frozen census
-config and the root index, so a cache file can be shared between runs
-and never serves stale counts after the graph or parameters change —
-a different graph or config simply misses.
+Since the unified runtime landed, the storage itself lives in
+:class:`repro.runtime.store.ArtifactStore` — a content-addressed store
+shared by every pipeline stage (census counters, walk corpora, embedding
+matrices, feature matrices).  :class:`CensusCache` keeps its full
+original API (same keys, same stats attributes, same durability and
+eviction semantics) as the census-stage *view* of such a store:
+``CensusCache(path)`` owns a private store, while
+:meth:`CensusCache.over` wraps an existing one so census entries share a
+file with the other stages.
 
-Durability: :meth:`CensusCache.save` writes to a temp file in the target
-directory and atomically ``os.replace``\\ s it over the destination, so a
-crash mid-save (including ``kill -9``) can never corrupt an existing
-cache file — at worst it leaves a stray ``*.tmp`` sibling.  A file that
-fails to load (corrupt bytes, old format version) is reported through
+Durability (unchanged from PR 3, now provided by the store):
+:meth:`CensusCache.save` writes to a temp file in the target directory
+and atomically ``os.replace``\\ s it over the destination, so a crash
+mid-save (including ``kill -9``) can never corrupt an existing cache
+file — at worst it leaves a stray ``*.tmp`` sibling.  A file that fails
+to load (corrupt bytes, old format version) is reported through
 ``logging`` and :attr:`CensusCache.load_status` instead of silently
 looking like an empty cache.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
-import tempfile
+import pickle  # noqa: F401  (re-exported: durability tests patch cache_module.pickle)
 from collections import Counter
 from pathlib import Path
 
 from repro.core.census import CensusConfig
 from repro.core.graph import HeteroGraph
 from repro.obs.log import get_logger
-from repro.obs.telemetry import get_telemetry
-
-#: Bumped whenever the on-disk layout changes; mismatching files are
-#: ignored rather than risking unpickling into the wrong shape.
-_FORMAT_VERSION = 1
+from repro.runtime.store import STAGE_CENSUS, ArtifactStore, artifact_key
 
 CacheKey = tuple[str, tuple, int]
 
 logger = get_logger(__name__)
 
 
-def census_cache_key(
-    graph: HeteroGraph, config: CensusConfig, root: int
-) -> CacheKey:
-    """The memoisation key for one rooted census.
+def census_config_key(config: CensusConfig) -> tuple:
+    """Flatten a census config to the plain tuple used in cache keys.
 
-    The config is flattened to a plain tuple (not the dataclass) so keys
-    stay comparable across library versions that add config fields with
-    defaults — and so a pickled cache does not depend on the
+    Flattening (rather than keying on the dataclass) keeps keys
+    comparable across library versions that add config fields with
+    defaults — and keeps a pickled cache independent of the
     ``CensusConfig`` class itself.
     """
-    config_key = (
+    return (
         config.max_edges,
         config.max_degree,
         config.mask_start_label,
@@ -62,11 +59,22 @@ def census_cache_key(
         config.include_trivial,
         config.max_subgraphs,
     )
-    return (graph.fingerprint(), config_key, int(root))
+
+
+def census_cache_key(
+    graph: HeteroGraph, config: CensusConfig, root: int
+) -> CacheKey:
+    """The memoisation key for one rooted census (legacy 3-tuple shape)."""
+    return (graph.fingerprint(), census_config_key(config), int(root))
+
+
+def _store_config(config: CensusConfig, root: int) -> tuple:
+    """The artifact-store stage config for one rooted census."""
+    return (*census_config_key(config), int(root))
 
 
 class CensusCache:
-    """In-memory census memo with optional pickle persistence.
+    """The census-stage view of an :class:`ArtifactStore`.
 
     Parameters
     ----------
@@ -84,113 +92,71 @@ class CensusCache:
     The cache stores defensive copies on both :meth:`get` and
     :meth:`put` so callers mutating a returned ``Counter`` cannot
     corrupt later hits.  Loads, saves, and evictions are counted in the
-    run telemetry (see :mod:`repro.obs`).
+    run telemetry (see :mod:`repro.obs`); per-lookup hit/miss telemetry
+    lands under ``artifact/census/*``.
     """
 
     def __init__(
         self,
         path: str | Path | None = None,
         max_entries: int | None = None,
+        *,
+        store: ArtifactStore | None = None,
     ) -> None:
-        if max_entries is not None and max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-        self.path = Path(path) if path is not None else None
-        self.max_entries = max_entries
-        self._entries: dict[CacheKey, Counter] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.load_status: str | None = None
-        if self.path is not None:
-            if self.path.exists():
-                self._load(self.path)
-            else:
-                self.load_status = "missing"
-                get_telemetry().annotate("cache/load_status", self.load_status)
+        if store is not None:
+            if path is not None or max_entries is not None:
+                raise ValueError(
+                    "pass either a wrapped store or path/max_entries, not both"
+                )
+            self.store = store
+        else:
+            self.store = ArtifactStore(
+                path, max_entries, description="census cache", log=logger
+            )
+
+    @classmethod
+    def over(cls, store: ArtifactStore) -> "CensusCache":
+        """A census view sharing ``store`` (and its file) with other stages."""
+        return cls(store=store)
+
+    # -- delegated attributes ---------------------------------------------
+    @property
+    def path(self) -> Path | None:
+        return self.store.path
+
+    @property
+    def max_entries(self) -> int | None:
+        return self.store.max_entries
+
+    @property
+    def load_status(self) -> str | None:
+        return self.store.load_status
+
+    @property
+    def hits(self) -> int:
+        return self.store.stage_hits.get(STAGE_CENSUS, 0)
+
+    @property
+    def misses(self) -> int:
+        return self.store.stage_misses.get(STAGE_CENSUS, 0)
+
+    @property
+    def evictions(self) -> int:
+        return self.store.evictions
 
     # -- persistence ------------------------------------------------------
-    def _load(self, path: Path) -> None:
-        telemetry = get_telemetry()
-        try:
-            with open(path, "rb") as fh:
-                payload = pickle.load(fh)
-        # Corrupt bytes surface from pickle as almost any exception type
-        # (the docs name UnpicklingError, AttributeError, EOFError,
-        # ImportError, and IndexError; garbage opcodes also raise
-        # ValueError/KeyError), so treat every failure as a corrupt file.
-        except Exception as exc:
-            self.load_status = "corrupt"
-            telemetry.count("cache/load_corrupt")
-            telemetry.annotate("cache/load_status", self.load_status)
-            logger.warning(
-                "census cache %s is unreadable (%s: %s); starting empty "
-                "— the next save() will replace it",
-                path,
-                type(exc).__name__,
-                exc,
-            )
-            return
-        if (
-            isinstance(payload, dict)
-            and payload.get("version") == _FORMAT_VERSION
-            and isinstance(payload.get("entries"), dict)
-        ):
-            self._entries.update(payload["entries"])
-            self.load_status = "loaded"
-            telemetry.count("cache/loads")
-            telemetry.count("cache/load_entries", len(payload["entries"]))
-        else:
-            found = payload.get("version") if isinstance(payload, dict) else None
-            self.load_status = "version-mismatch"
-            telemetry.count("cache/load_version_mismatch")
-            logger.warning(
-                "census cache %s has format version %r (expected %d); "
-                "ignoring its contents — the next save() will upgrade it",
-                path,
-                found,
-                _FORMAT_VERSION,
-            )
-        telemetry.annotate("cache/load_status", self.load_status)
-
     def save(self, path: str | Path | None = None) -> Path:
-        """Atomically write the cache to ``path`` (default: constructor path).
-
-        The payload is written to a temp file in the destination
-        directory and moved into place with :func:`os.replace`, so an
-        interrupted save never clobbers the previous on-disk contents; a
-        crash can only leave a stray temp file behind.
-        """
-        target = Path(path) if path is not None else self.path
-        if target is None:
-            raise ValueError("CensusCache has no path; pass one to save()")
-        payload = {"version": _FORMAT_VERSION, "entries": self._entries}
-        fd, tmp_name = tempfile.mkstemp(
-            dir=target.parent or Path("."), prefix=f"{target.name}.", suffix=".tmp"
-        )
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp_name, target)
-        telemetry = get_telemetry()
-        telemetry.count("cache/saves")
-        telemetry.count("cache/save_entries", len(self._entries))
-        logger.debug(
-            "census cache saved: %d entries -> %s", len(self._entries), target
-        )
-        return target
+        """Atomically write the backing store (see :meth:`ArtifactStore.save`)."""
+        return self.store.save(path)
 
     # -- memoisation ------------------------------------------------------
     def get(
         self, graph: HeteroGraph, config: CensusConfig, root: int
     ) -> Counter | None:
         """The cached census for ``root``, or ``None`` on a miss."""
-        entry = self._entries.get(census_cache_key(graph, config, root))
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return Counter(entry)
+        return self.store.get(
+            graph.fingerprint(), STAGE_CENSUS, _store_config(config, root)
+        )
 
     def put(
         self,
@@ -201,37 +167,29 @@ class CensusCache:
     ) -> None:
         """Store the census for ``root`` (overwrites any existing entry).
 
-        When ``max_entries`` is set, inserting a novel key beyond the
-        bound evicts the oldest entries first (dict insertion order).
+        When the store bounds ``max_entries``, inserting a novel key
+        beyond the bound evicts the oldest entries first (FIFO).
         """
-        key = census_cache_key(graph, config, root)
-        if (
-            self.max_entries is not None
-            and key not in self._entries
-            and len(self._entries) >= self.max_entries
-        ):
-            evicted = 0
-            while len(self._entries) >= self.max_entries:
-                self._entries.pop(next(iter(self._entries)))
-                evicted += 1
-            self.evictions += evicted
-            get_telemetry().count("cache/evictions", evicted)
-        self._entries[key] = Counter(census)
+        self.store.put(
+            graph.fingerprint(), STAGE_CENSUS, _store_config(config, root), census
+        )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self.store.stage_entries(STAGE_CENSUS)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        fingerprint, config_key, root = key
+        return (
+            artifact_key(fingerprint, STAGE_CENSUS, (*config_key, int(root)))
+            in self.store
+        )
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        """Clear the backing store (all stages, when sharing one)."""
+        self.store.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"CensusCache(entries={len(self._entries)}, "
+            f"CensusCache(entries={len(self)}, "
             f"hits={self.hits}, misses={self.misses})"
         )

@@ -37,10 +37,14 @@ from repro.core.hashing import RollingSubgraphHash
 from repro.core.labels import LabelSet
 from repro.exceptions import CensusError
 from repro.obs.telemetry import get_telemetry
+from repro.runtime.context import RunContext
 
 Edge = tuple[int, int]
 KeyMode = Literal["canonical", "string", "hash"]
 EngineMode = Literal["fast", "reference"]
+
+#: Valid census engine names (checked through the shared runtime validator).
+ENGINES = ("fast", "reference")
 
 
 @dataclass(frozen=True)
@@ -749,7 +753,8 @@ def subgraph_census(
     root: int,
     config: CensusConfig | None = None,
     *,
-    engine: EngineMode = "fast",
+    engine: EngineMode | None = None,
+    ctx: RunContext | None = None,
 ) -> Counter:
     """Count rooted heterogeneous subgraphs around one node.
 
@@ -765,6 +770,9 @@ def subgraph_census(
         ``"fast"`` (default) runs the incremental flat-adjacency engine;
         ``"reference"`` runs the straightforward implementation kept as
         the parity oracle.  Both return bit-identical Counters.
+    ctx:
+        Optional :class:`~repro.runtime.context.RunContext`; its engine
+        applies when the ``engine`` keyword is not given explicitly.
 
     Returns
     -------
@@ -777,12 +785,14 @@ def subgraph_census(
     root = int(root)
     if not 0 <= root < graph.num_nodes:
         raise CensusError(f"root index {root} out of range")
+    ctx = RunContext.ensure(ctx, engine=engine)
+    engine = ctx.resolve_engine(
+        ENGINES, default="fast", param="census engine", error=CensusError
+    )
     if engine == "fast":
         counts = _FastCensusRun(graph, root, config).run()
-    elif engine == "reference":
-        counts = _CensusRun(graph, root, config).run()
     else:
-        raise CensusError(f"unknown census engine {engine!r}")
+        counts = _CensusRun(graph, root, config).run()
     # Coarse per-call accounting only — the enumeration inner loop stays
     # untouched so the engine perf gates keep measuring real work.
     telemetry = get_telemetry()

@@ -22,12 +22,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.core.cache import CensusCache
+from repro.core.cache import CensusCache, census_config_key
 from repro.core.census import CensusConfig, subgraph_census
 from repro.core.graph import HeteroGraph
 from repro.core.sparse import CSRMatrix
 from repro.exceptions import FeatureError
 from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.runtime.context import RunContext
+from repro.runtime.store import STAGE_FEATURES, ArtifactStore
 
 
 class FeatureSpace:
@@ -196,9 +198,12 @@ class SubgraphFeatures:
 _WORKER_STATE: dict = {}
 
 
-def _init_census_worker(graph: HeteroGraph, config: CensusConfig) -> None:
+def _init_census_worker(
+    graph: HeteroGraph, config: CensusConfig, engine: str | None = None
+) -> None:
     _WORKER_STATE["graph"] = graph
     _WORKER_STATE["config"] = config
+    _WORKER_STATE["engine"] = engine
 
 
 def _census_chunk_worker(chunk: list[int]) -> tuple[list[Counter], dict]:
@@ -211,12 +216,15 @@ def _census_chunk_worker(chunk: list[int]) -> tuple[list[Counter], dict]:
     """
     graph = _WORKER_STATE["graph"]
     config = _WORKER_STATE["config"]
+    engine = _WORKER_STATE.get("engine")
     telemetry = Telemetry()
     censuses = []
     with telemetry.span("census/chunk"):
         for root in chunk:
             with telemetry.span("census/root"):
-                censuses.append(subgraph_census(graph, root, config))
+                censuses.append(
+                    subgraph_census(graph, root, config, engine=engine)
+                )
     return censuses, telemetry.snapshot()
 
 
@@ -232,23 +240,41 @@ class SubgraphFeatureExtractor:
         each receive the read-only graph, mirroring the paper's shared
         edge-list parallelisation.
     cache:
-        Optional :class:`~repro.core.cache.CensusCache`.  Cached roots are
-        served without recomputation and fresh censuses are written back,
-        so ablation grids that re-census overlapping node sets under one
-        config pay for each root once.
+        Optional :class:`~repro.core.cache.CensusCache` or
+        :class:`~repro.runtime.store.ArtifactStore` (wrapped into its
+        census view automatically).  Cached roots are served without
+        recomputation and fresh censuses are written back, so ablation
+        grids that re-census overlapping node sets under one config pay
+        for each root once.
+    ctx:
+        Optional :class:`~repro.runtime.context.RunContext`; supplies
+        ``n_jobs`` and the artifact store when the legacy keywords are
+        not given explicitly.  A context store also enables
+        feature-matrix caching in :meth:`fit_transform`.
     """
 
     def __init__(
         self,
         config: CensusConfig | None = None,
-        n_jobs: int = 1,
-        cache: CensusCache | None = None,
+        n_jobs: int | None = None,
+        cache: "CensusCache | ArtifactStore | None" = None,
+        *,
+        ctx: RunContext | None = None,
     ) -> None:
-        if n_jobs < 1:
+        if n_jobs is not None and n_jobs < 1:
             raise FeatureError(f"n_jobs must be >= 1, got {n_jobs}")
+        if isinstance(cache, ArtifactStore):
+            cache = CensusCache.over(cache)
+        ctx = RunContext.ensure(ctx, n_jobs=n_jobs)
+        if cache is None and ctx.store is not None:
+            cache = CensusCache.over(ctx.store)
         self.config = config if config is not None else CensusConfig()
-        self.n_jobs = n_jobs
+        self.n_jobs = ctx.resolved_n_jobs(default=1)
         self.cache = cache
+        self.ctx = ctx
+        #: Census engine (None = the census default); threaded into every
+        #: subgraph_census call, including pool workers.
+        self.engine = ctx.engine
 
     def census_many(self, graph: HeteroGraph, nodes: Sequence[int]) -> list[Counter]:
         """Run the rooted census for every node in ``nodes``.
@@ -297,7 +323,9 @@ class SubgraphFeatureExtractor:
                 with telemetry.span("census/chunk"):
                     for node in pending:
                         with telemetry.span("census/root"):
-                            computed[node] = subgraph_census(graph, node, config)
+                            computed[node] = subgraph_census(
+                                graph, node, config, engine=self.engine
+                            )
             else:
                 degrees = graph.flat().degrees
                 pending = sorted(
@@ -313,7 +341,7 @@ class SubgraphFeatureExtractor:
                 with ProcessPoolExecutor(
                     max_workers=self.n_jobs,
                     initializer=_init_census_worker,
-                    initargs=(graph, config),
+                    initargs=(graph, config, self.engine),
                 ) as pool:
                     for chunk, (censuses, snapshot) in zip(
                         chunks, pool.map(_census_chunk_worker, chunks)
@@ -336,18 +364,33 @@ class SubgraphFeatureExtractor:
     def fit_transform(
         self, graph: HeteroGraph, nodes: Sequence[int], layout: str = "dense"
     ) -> SubgraphFeatures:
-        """Census the nodes, build a fresh vocabulary, return the matrix."""
+        """Census the nodes, build a fresh vocabulary, return the matrix.
+
+        When the extractor's context carries an artifact store, the
+        finished matrix is cached under the ``"features"`` stage (keyed
+        by census config, node set, and layout) and a warm rerun returns
+        it without re-censusing.
+        """
+        node_tuple = tuple(int(n) for n in nodes)
+        store = self.ctx.store
+        feature_config = None
+        if store is not None:
+            feature_config = (*census_config_key(self.config), layout, node_tuple)
+            cached = store.get(graph.fingerprint(), STAGE_FEATURES, feature_config)
+            if cached is not None:
+                return cached
         censuses = self.census_many(graph, nodes)
         space = FeatureSpace().fit(censuses)
         if not len(space):
             raise FeatureError(
                 "no subgraphs found around any root; are the nodes isolated?"
             )
-        return SubgraphFeatures(
-            space.to_matrix(censuses, layout=layout),
-            space,
-            tuple(int(n) for n in nodes),
+        features = SubgraphFeatures(
+            space.to_matrix(censuses, layout=layout), space, node_tuple
         )
+        if store is not None:
+            store.put(graph.fingerprint(), STAGE_FEATURES, feature_config, features)
+        return features
 
     def transform(
         self,

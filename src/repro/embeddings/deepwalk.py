@@ -11,7 +11,8 @@ import numpy as np
 
 from repro.core.graph import HeteroGraph
 from repro.embeddings.skipgram import SkipGramTrainer
-from repro.embeddings.walks import WalkEngine, uniform_random_walks
+from repro.embeddings.walks import ENGINES, WalkEngine, uniform_random_walks
+from repro.runtime.context import RunContext
 
 
 class DeepWalk:
@@ -21,7 +22,8 @@ class DeepWalk:
     ``batch_size`` belong to the SGNS optimiser, not the original method.
     ``engine`` selects the fast or reference walk + trainer pipeline and
     ``n_jobs`` shards walk epochs over worker processes (results are
-    identical for any worker count).
+    identical for any worker count).  ``ctx`` supplies engine/n_jobs
+    defaults and the artifact store for walk-corpus caching.
     """
 
     def __init__(
@@ -33,9 +35,11 @@ class DeepWalk:
         negative: int = 5,
         epochs: int = 1,
         seed: int | None = None,
-        engine: WalkEngine = "fast",
-        n_jobs: int = 1,
+        engine: WalkEngine | None = None,
+        n_jobs: int | None = None,
+        ctx: RunContext | None = None,
     ) -> None:
+        ctx = RunContext.ensure(ctx, engine=engine, n_jobs=n_jobs)
         self.dim = dim
         self.num_walks = num_walks
         self.walk_length = walk_length
@@ -43,13 +47,17 @@ class DeepWalk:
         self.negative = negative
         self.epochs = epochs
         self.seed = seed
-        self.engine = engine
-        self.n_jobs = n_jobs
+        self.engine = ctx.resolve_engine(ENGINES, default="fast")
+        self.n_jobs = ctx.resolved_n_jobs(default=1)
+        self.ctx = ctx
         self.embedding_: np.ndarray | None = None
 
     def fit(self, graph: HeteroGraph) -> "DeepWalk":
         """Learn embeddings for every node of ``graph``."""
-        rng = np.random.default_rng(self.seed)
+        # An int seed (rather than a pre-built Generator) keeps the walk
+        # corpus content-addressable; _epoch_rngs spawns the identical
+        # child streams either way.
+        rng = self.seed if self.seed is not None else np.random.default_rng()
         walks = uniform_random_walks(
             graph,
             self.num_walks,
@@ -57,6 +65,7 @@ class DeepWalk:
             rng=rng,
             engine=self.engine,
             n_jobs=self.n_jobs,
+            ctx=self.ctx,
         )
         trainer = SkipGramTrainer(
             dim=self.dim,

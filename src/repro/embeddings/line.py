@@ -34,6 +34,10 @@ import numpy as np
 from repro.core.graph import HeteroGraph
 from repro.embeddings.alias import AliasTable
 from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.runtime.context import RunContext
+
+#: Valid LINE engine names (checked through the shared runtime validator).
+ENGINES = ("fast", "reference")
 
 LineEngine = Literal["fast", "reference"]
 
@@ -178,23 +182,23 @@ class LINE:
         learning_rate: float = 0.025,
         batch_size: int = 1024,
         seed: int | None = None,
-        engine: LineEngine = "fast",
-        n_jobs: int = 1,
+        engine: LineEngine | None = None,
+        n_jobs: int | None = None,
+        ctx: RunContext | None = None,
     ) -> None:
         if dim < 2:
             raise ValueError(f"dim must be >= 2, got {dim}")
-        if engine not in ("fast", "reference"):
-            raise ValueError(f"unknown LINE engine {engine!r}")
-        if n_jobs < 1:
+        if n_jobs is not None and n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        ctx = RunContext.ensure(ctx, engine=engine, n_jobs=n_jobs)
         self.dim = dim
         self.num_samples = num_samples
         self.negative = negative
         self.learning_rate = learning_rate
         self.batch_size = batch_size
         self.seed = seed
-        self.engine = engine
-        self.n_jobs = n_jobs
+        self.engine = ctx.resolve_engine(ENGINES, default="fast", param="LINE engine")
+        self.n_jobs = ctx.resolved_n_jobs(default=1)
         self.embedding_: np.ndarray | None = None
 
     def fit(self, graph: HeteroGraph) -> "LINE":

@@ -12,7 +12,8 @@ import numpy as np
 
 from repro.core.graph import HeteroGraph
 from repro.embeddings.skipgram import SkipGramTrainer
-from repro.embeddings.walks import WalkEngine, node2vec_walks
+from repro.embeddings.walks import ENGINES, WalkEngine, node2vec_walks
+from repro.runtime.context import RunContext
 
 
 class Node2Vec:
@@ -20,7 +21,8 @@ class Node2Vec:
 
     ``engine`` selects the fast or reference walk + trainer pipeline and
     ``n_jobs`` shards walk epochs over worker processes (results are
-    identical for any worker count).
+    identical for any worker count).  ``ctx`` supplies engine/n_jobs
+    defaults and the artifact store for walk-corpus caching.
     """
 
     def __init__(
@@ -34,9 +36,11 @@ class Node2Vec:
         q: float = 1.0,
         epochs: int = 1,
         seed: int | None = None,
-        engine: WalkEngine = "fast",
-        n_jobs: int = 1,
+        engine: WalkEngine | None = None,
+        n_jobs: int | None = None,
+        ctx: RunContext | None = None,
     ) -> None:
+        ctx = RunContext.ensure(ctx, engine=engine, n_jobs=n_jobs)
         self.dim = dim
         self.num_walks = num_walks
         self.walk_length = walk_length
@@ -46,13 +50,15 @@ class Node2Vec:
         self.q = q
         self.epochs = epochs
         self.seed = seed
-        self.engine = engine
-        self.n_jobs = n_jobs
+        self.engine = ctx.resolve_engine(ENGINES, default="fast")
+        self.n_jobs = ctx.resolved_n_jobs(default=1)
+        self.ctx = ctx
         self.embedding_: np.ndarray | None = None
 
     def fit(self, graph: HeteroGraph) -> "Node2Vec":
         """Learn embeddings for every node of ``graph``."""
-        rng = np.random.default_rng(self.seed)
+        # An int seed keeps the corpus content-addressable (see DeepWalk).
+        rng = self.seed if self.seed is not None else np.random.default_rng()
         walks = node2vec_walks(
             graph,
             self.num_walks,
@@ -62,6 +68,7 @@ class Node2Vec:
             rng=rng,
             engine=self.engine,
             n_jobs=self.n_jobs,
+            ctx=self.ctx,
         )
         trainer = SkipGramTrainer(
             dim=self.dim,

@@ -36,6 +36,10 @@ import numpy as np
 from repro.embeddings.alias import AliasTable
 from repro.embeddings.walks import walk_node_frequencies
 from repro.obs.telemetry import get_telemetry
+from repro.runtime.context import RunContext, resolve_engine
+
+#: Valid SGNS engine names (checked through the shared runtime validator).
+ENGINES = ("fast", "reference")
 
 TrainerEngine = Literal["fast", "reference"]
 
@@ -128,8 +132,7 @@ def walks_to_pairs(
     """
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
-    if engine not in ("fast", "reference"):
-        raise ValueError(f"unknown pairs engine {engine!r}")
+    resolve_engine(engine, ENGINES, param="pairs engine")
     if engine == "fast" and isinstance(walks, np.ndarray) and walks.ndim == 2:
         return _pairs_from_matrix(walks, window, rng)
     return _pairs_per_walk(walks, window, rng)
@@ -167,7 +170,8 @@ class SkipGramTrainer:
         learning_rate: float = 0.025,
         batch_size: int = 2048,
         seed: int | None = None,
-        engine: TrainerEngine = "fast",
+        engine: TrainerEngine | None = None,
+        ctx: RunContext | None = None,
     ) -> None:
         if dim < 1:
             raise ValueError(f"dim must be >= 1, got {dim}")
@@ -175,8 +179,8 @@ class SkipGramTrainer:
             raise ValueError(f"negative must be >= 1, got {negative}")
         if epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {epochs}")
-        if engine not in ("fast", "reference"):
-            raise ValueError(f"unknown trainer engine {engine!r}")
+        ctx = RunContext.ensure(ctx, engine=engine)
+        engine = ctx.resolve_engine(ENGINES, default="fast", param="trainer engine")
         self.dim = dim
         self.window = window
         self.negative = negative

@@ -44,8 +44,13 @@ import numpy as np
 
 from repro.core.graph import HeteroGraph
 from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.runtime.context import RunContext, resolve_engine
+from repro.runtime.store import STAGE_WALKS
 
 WalkEngine = Literal["fast", "reference"]
+
+#: Valid walk engine names (checked through the shared runtime validator).
+ENGINES = ("fast", "reference")
 
 #: Vectorised rejection rounds before the exact per-node fallback kicks in.
 _REJECTION_ROUNDS = 8
@@ -316,8 +321,7 @@ def _run_walks(
     rngs: list[np.random.Generator],
     n_jobs: int,
 ) -> np.ndarray:
-    if engine not in ("fast", "reference"):
-        raise ValueError(f"unknown walk engine {engine!r}")
+    resolve_engine(engine, ENGINES, param="walk engine")
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     num_walks = len(rngs)
@@ -349,14 +353,45 @@ def _run_walks(
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
+def _corpus_key(
+    kind: str, num_walks, walk_length, p, q, rng, nodes, engine
+) -> tuple | None:
+    """The walk-stage cache config, or ``None`` when the corpus is uncacheable.
+
+    Only integer-seeded corpora are content-addressable: a ``Generator``
+    carries hidden stream state and ``None`` draws fresh OS entropy, so
+    neither can be frozen into a key.  ``n_jobs`` is deliberately absent —
+    epoch sharding is bit-identical for every worker count.
+    """
+    if not isinstance(rng, (int, np.integer)) or isinstance(rng, bool):
+        return None
+    node_key = (
+        None
+        if nodes is None
+        else tuple(int(n) for n in np.asarray(nodes, dtype=np.int64).ravel())
+    )
+    return (
+        kind,
+        int(num_walks),
+        int(walk_length),
+        float(p),
+        float(q),
+        int(rng),
+        engine,
+        node_key,
+    )
+
+
 def uniform_random_walks(
     graph: HeteroGraph,
     num_walks: int = 10,
     walk_length: int = 80,
     rng: np.random.Generator | int | None = None,
     nodes=None,
-    engine: WalkEngine = "fast",
-    n_jobs: int = 1,
+    engine: WalkEngine | None = None,
+    n_jobs: int | None = None,
+    *,
+    ctx: RunContext | None = None,
 ) -> np.ndarray:
     """Truncated uniform random walks, ``num_walks`` per start node.
 
@@ -367,16 +402,37 @@ def uniform_random_walks(
     ``engine`` selects the batched implementation (``"fast"``, default) or
     the per-node oracle (``"reference"``); ``n_jobs`` shards epochs over
     worker processes without changing the result for any worker count.
+    ``ctx`` supplies engine/n_jobs defaults and, when it carries an
+    artifact store and ``rng`` is an integer seed, caches the corpus
+    under the ``"walks"`` stage so warm reruns skip the generation.
     """
     if num_walks < 1 or walk_length < 1:
         raise ValueError("num_walks and walk_length must be >= 1")
+    if n_jobs is not None and n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    ctx = RunContext.ensure(ctx, engine=engine, n_jobs=n_jobs)
+    engine = ctx.resolve_engine(ENGINES, default="fast", param="walk engine")
+    n_jobs = ctx.resolved_n_jobs(default=1)
+    store = ctx.store
+    config = None
+    if store is not None:
+        config = _corpus_key(
+            "uniform", num_walks, walk_length, 1.0, 1.0, rng, nodes, engine
+        )
+        if config is not None:
+            cached = store.get(graph.fingerprint(), STAGE_WALKS, config)
+            if cached is not None:
+                return cached
     starts = (
         np.arange(graph.num_nodes, dtype=np.int64)
         if nodes is None
         else np.asarray(nodes, dtype=np.int64)
     )
     rngs = _epoch_rngs(rng, num_walks)
-    return _run_walks(graph, starts, walk_length, 1.0, 1.0, engine, rngs, n_jobs)
+    corpus = _run_walks(graph, starts, walk_length, 1.0, 1.0, engine, rngs, n_jobs)
+    if config is not None:
+        store.put(graph.fingerprint(), STAGE_WALKS, config, corpus)
+    return corpus
 
 
 def node2vec_walks(
@@ -387,8 +443,10 @@ def node2vec_walks(
     q: float = 1.0,
     rng: np.random.Generator | int | None = None,
     nodes=None,
-    engine: WalkEngine = "fast",
-    n_jobs: int = 1,
+    engine: WalkEngine | None = None,
+    n_jobs: int | None = None,
+    *,
+    ctx: RunContext | None = None,
 ) -> np.ndarray:
     """Second-order biased walks with return parameter ``p`` and in-out ``q``.
 
@@ -406,17 +464,42 @@ def node2vec_walks(
         raise ValueError("p and q must be positive")
     if p == 1.0 and q == 1.0:
         return uniform_random_walks(
-            graph, num_walks, walk_length, rng, nodes, engine=engine, n_jobs=n_jobs
+            graph,
+            num_walks,
+            walk_length,
+            rng,
+            nodes,
+            engine=engine,
+            n_jobs=n_jobs,
+            ctx=ctx,
         )
     if num_walks < 1 or walk_length < 1:
         raise ValueError("num_walks and walk_length must be >= 1")
+    if n_jobs is not None and n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    ctx = RunContext.ensure(ctx, engine=engine, n_jobs=n_jobs)
+    engine = ctx.resolve_engine(ENGINES, default="fast", param="walk engine")
+    n_jobs = ctx.resolved_n_jobs(default=1)
+    store = ctx.store
+    config = None
+    if store is not None:
+        config = _corpus_key(
+            "node2vec", num_walks, walk_length, p, q, rng, nodes, engine
+        )
+        if config is not None:
+            cached = store.get(graph.fingerprint(), STAGE_WALKS, config)
+            if cached is not None:
+                return cached
     starts = (
         np.arange(graph.num_nodes, dtype=np.int64)
         if nodes is None
         else np.asarray(nodes, dtype=np.int64)
     )
     rngs = _epoch_rngs(rng, num_walks)
-    return _run_walks(graph, starts, walk_length, p, q, engine, rngs, n_jobs)
+    corpus = _run_walks(graph, starts, walk_length, p, q, engine, rngs, n_jobs)
+    if config is not None:
+        store.put(graph.fingerprint(), STAGE_WALKS, config, corpus)
+    return corpus
 
 
 def walk_lengths(walks: np.ndarray) -> np.ndarray:

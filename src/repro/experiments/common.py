@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.core.graph import HeteroGraph
 from repro.embeddings import LINE, DeepWalk, Node2Vec
+from repro.runtime.context import RunContext
+from repro.runtime.store import STAGE_EMBED
 
 EMBEDDING_METHODS = ("node2vec", "deepwalk", "line")
 
@@ -51,14 +53,41 @@ class EmbeddingParams:
         )
 
 
+def _embed_key(
+    method: str, params: EmbeddingParams, seed: int, engine: str, nodes: np.ndarray
+) -> tuple:
+    """The embed-stage cache config for one trained baseline.
+
+    Includes every value the matrix depends on — method, all preset
+    fields, the offset seed, the engine (fast/reference SGNS matrices are
+    *not* bit-identical), and the requested node rows.  ``n_jobs`` is
+    deliberately absent: every worker count trains the same matrix.
+    """
+    return (
+        method,
+        params.dim,
+        params.num_walks,
+        params.walk_length,
+        params.window,
+        params.negative,
+        params.p,
+        params.q,
+        params.line_samples,
+        int(seed),
+        engine,
+        tuple(int(n) for n in nodes),
+    )
+
+
 def embedding_matrix(
     graph: HeteroGraph,
     nodes,
     method: str,
     params: EmbeddingParams,
     seed: int = 0,
-    engine: str = "fast",
-    n_jobs: int = 1,
+    engine: str | None = None,
+    n_jobs: int | None = None,
+    ctx: RunContext | None = None,
 ) -> np.ndarray:
     """Train one embedding baseline on ``graph`` and return rows for ``nodes``.
 
@@ -71,12 +100,27 @@ def embedding_matrix(
     n_jobs:
         Worker processes for corpus generation (walk methods) or order
         training (LINE); never changes the result.
+    ctx:
+        Optional :class:`~repro.runtime.context.RunContext`; supplies
+        engine/n_jobs defaults, and when it carries an artifact store the
+        trained matrix is cached under the ``"embed"`` stage so a warm
+        rerun skips the walk and SGNS work entirely.
     """
+    ctx = RunContext.ensure(ctx, engine=engine, n_jobs=n_jobs)
+    engine = ctx.resolve_engine(("fast", "reference"), default="fast")
+    n_jobs = ctx.resolved_n_jobs(default=1)
     nodes = np.asarray(nodes, dtype=np.int64)
     # With the paper defaults (p = q = 1) node2vec's walks coincide with
     # DeepWalk's; a per-method seed offset keeps their random streams
     # distinct, as independent reference implementations would be.
     seed = seed + {"deepwalk": 0, "node2vec": 101, "line": 202}.get(method, 0)
+    store = ctx.store
+    embed_config = None
+    if store is not None:
+        embed_config = _embed_key(method, params, seed, engine, nodes)
+        cached = store.get(graph.fingerprint(), STAGE_EMBED, embed_config)
+        if cached is not None:
+            return cached
     if method == "deepwalk":
         model = DeepWalk(
             dim=params.dim,
@@ -87,6 +131,7 @@ def embedding_matrix(
             seed=seed,
             engine=engine,
             n_jobs=n_jobs,
+            ctx=ctx,
         )
     elif method == "node2vec":
         model = Node2Vec(
@@ -100,6 +145,7 @@ def embedding_matrix(
             seed=seed,
             engine=engine,
             n_jobs=n_jobs,
+            ctx=ctx,
         )
     elif method == "line":
         model = LINE(
@@ -109,10 +155,14 @@ def embedding_matrix(
             seed=seed,
             engine=engine,
             n_jobs=n_jobs,
+            ctx=ctx,
         )
     else:
         raise ValueError(f"unknown embedding method {method!r}")
-    return model.fit_transform(graph, nodes)
+    matrix = model.fit_transform(graph, nodes)
+    if store is not None:
+        store.put(graph.fingerprint(), STAGE_EMBED, embed_config, matrix)
+    return matrix
 
 
 def percentile_degree(graph: HeteroGraph, percentile: float) -> int | None:

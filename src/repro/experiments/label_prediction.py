@@ -37,6 +37,7 @@ from repro.ml import StandardScaler, macro_f1, train_test_split, tune_regulariza
 from repro.ml.forest import resolve_n_jobs
 from repro.ml.preprocessing import log1p_counts
 from repro.obs.telemetry import fresh_telemetry, get_telemetry
+from repro.runtime.context import RunContext
 
 FEATURE_TYPES = ("subgraph", *EMBEDDING_METHODS)
 
@@ -104,6 +105,10 @@ class LabelTaskConfig:
     seed: int = 0
     #: Matrix layout for the subgraph count features ("dense" or "sparse").
     layout: str = "dense"
+    #: Census/embedding implementation ("fast" or "reference") — the label
+    #: pipeline has no forest, so its engine choice selects the feature
+    #: extraction pipelines (CLI parity with ``repro rank --engine``).
+    engine: str = "fast"
     #: Worker processes for the training sweep's per-feature fan-out;
     #: split seeds are pre-drawn so any count matches ``n_jobs=1``.
     n_jobs: int | None = 1
@@ -162,13 +167,22 @@ def with_removed_labels(
 class LabelPredictionExperiment:
     """End-to-end pipeline producing Figure 5 (and Table 2 inputs)."""
 
-    def __init__(self, graph: HeteroGraph, config: LabelTaskConfig | None = None) -> None:
+    def __init__(
+        self,
+        graph: HeteroGraph,
+        config: LabelTaskConfig | None = None,
+        ctx: RunContext | None = None,
+    ) -> None:
         self.graph = graph
         self.config = config if config is not None else LabelTaskConfig()
         if self.config.layout not in ("dense", "sparse"):
             raise ValueError(
                 f"layout must be 'dense' or 'sparse', got {self.config.layout!r}"
             )
+        self.ctx = RunContext.ensure(ctx)
+        # Feature stages take the config's engine and the context's store;
+        # n_jobs stays with the sweep fan-out, not the extractors.
+        self._stage_ctx = RunContext(engine=self.config.engine, store=self.ctx.store)
         rng = np.random.default_rng(self.config.seed)
         self.nodes, self.targets = sample_nodes_per_label(
             graph,
@@ -207,7 +221,7 @@ class LabelPredictionExperiment:
             mask_start_label=True,
             max_subgraphs=max_subgraphs,
         )
-        extractor = SubgraphFeatureExtractor(census_config)
+        extractor = SubgraphFeatureExtractor(census_config, ctx=self._stage_ctx)
         with get_telemetry().span("phase/label_features_subgraph"):
             censuses = extractor.census_many(graph, self.nodes)
             space = FeatureSpace().fit(censuses)
@@ -223,6 +237,7 @@ class LabelPredictionExperiment:
                     method,
                     self.config.embedding_params,
                     seed=self.config.seed,
+                    ctx=self._stage_ctx,
                 )
         return self._embedding_cache[method]
 

@@ -41,6 +41,7 @@ from repro.ml import (
 )
 from repro.ml.forest import resolve_n_jobs
 from repro.obs.telemetry import fresh_telemetry, get_telemetry
+from repro.runtime.context import RunContext
 
 FEATURE_FAMILIES = ("classic", "subgraph", "combined", "node2vec", "deepwalk", "line")
 REGRESSOR_NAMES = ("LinRegr", "DecTree", "RanForest", "BayRidge")
@@ -164,13 +165,24 @@ class RankPredictionResult:
 class RankPredictionExperiment:
     """End-to-end pipeline producing Figure 3 / Table 1 numbers."""
 
-    def __init__(self, mag: SyntheticMAG, config: RankTaskConfig | None = None) -> None:
+    def __init__(
+        self,
+        mag: SyntheticMAG,
+        config: RankTaskConfig | None = None,
+        ctx: RunContext | None = None,
+    ) -> None:
         self.mag = mag
         self.config = config if config is not None else RankTaskConfig()
         if self.config.layout not in ("dense", "sparse"):
             raise ValueError(
                 f"layout must be 'dense' or 'sparse', got {self.config.layout!r}"
             )
+        self.ctx = RunContext.ensure(ctx)
+        # Stages only take the store from the context: the experiment's
+        # engine/n_jobs policy lives in its config (forest_engine, n_jobs),
+        # so a CLI-level engine choice never silently switches the
+        # census/embedding pipelines under an experiment.
+        self._stage_ctx = RunContext(store=self.ctx.store)
         self._graphs: dict[tuple[str, int], object] = {}
         self._families: dict[tuple[str, str], dict[int, object]] = {}
         history = [y for y in mag.config.years if y < self.config.test_year]
@@ -203,7 +215,7 @@ class RankPredictionExperiment:
     ) -> tuple[dict[int, np.ndarray], FeatureSpace]:
         cfg = self.config
         census_config = CensusConfig(max_edges=cfg.emax, max_degree=cfg.dmax)
-        extractor = SubgraphFeatureExtractor(census_config)
+        extractor = SubgraphFeatureExtractor(census_config, ctx=self._stage_ctx)
         censuses_by_year: dict[int, list] = {}
         for year in self._feature_years():
             graph = self._graph(conference, year - 1)
@@ -228,7 +240,12 @@ class RankPredictionExperiment:
             graph = self._graph(conference, year - 1)
             roots = [graph.index(inst) for inst in self.mag.institutions]
             out[year] = embedding_matrix(
-                graph, roots, method, self.config.embedding_params, seed=self.config.seed
+                graph,
+                roots,
+                method,
+                self.config.embedding_params,
+                seed=self.config.seed,
+                ctx=self._stage_ctx,
             )
         return out
 

@@ -24,6 +24,7 @@ from repro.experiments.common import (
     percentile_degree,
 )
 from repro.obs.telemetry import get_telemetry
+from repro.runtime.context import RunContext
 
 
 @dataclass
@@ -115,11 +116,14 @@ def time_embeddings_per_node(
     seed: int = 0,
     engine: str = "fast",
     n_jobs: int = 1,
+    ctx: RunContext | None = None,
 ) -> dict[str, float]:
     """Total embedding training time divided by node count, per method.
 
     ``engine`` and ``n_jobs`` select the pipeline being timed; the report
     row records them so runs with different pipelines stay comparable.
+    When ``ctx`` carries an artifact store, warm reruns time the memoised
+    lookup (same caveat as the census cache).
     """
     telemetry = get_telemetry()
     telemetry.annotate("embed/engine", engine)
@@ -128,7 +132,14 @@ def time_embeddings_per_node(
     for method in EMBEDDING_METHODS:
         with telemetry.span(f"phase/embed_{method}") as span:
             embedding_matrix(
-                graph, probe, method, params, seed=seed, engine=engine, n_jobs=n_jobs
+                graph,
+                probe,
+                method,
+                params,
+                seed=seed,
+                engine=engine,
+                n_jobs=n_jobs,
+                ctx=ctx,
             )
         per_node[method] = span.elapsed / graph.num_nodes
     return per_node
@@ -146,14 +157,19 @@ def runtime_report(
     embedding_engine: str = "fast",
     embedding_n_jobs: int = 1,
     census_cache: CensusCache | None = None,
+    ctx: RunContext | None = None,
 ) -> RuntimeReport:
     """Build one Table 3 row for a dataset.
 
     ``engine`` selects the census implementation, ``embedding_engine`` and
     ``embedding_n_jobs`` the embedding pipeline; both are recorded.  The
     census and embedding phases land in the ``phase/*`` telemetry timers
-    the run manifest reports.
+    the run manifest reports.  A context store supplies the census cache
+    (when ``census_cache`` is not given) and embedding memoisation.
     """
+    ctx = RunContext.ensure(ctx)
+    if census_cache is None and ctx.store is not None:
+        census_cache = CensusCache.over(ctx.store)
     telemetry = get_telemetry()
     with telemetry.span("phase/census"):
         times = time_census_per_node(
@@ -162,7 +178,12 @@ def runtime_report(
     params = embedding_params if embedding_params is not None else EmbeddingParams.fast()
     with telemetry.span("phase/embeddings"):
         embedding_mean = time_embeddings_per_node(
-            graph, params, seed=seed, engine=embedding_engine, n_jobs=embedding_n_jobs
+            graph,
+            params,
+            seed=seed,
+            engine=embedding_engine,
+            n_jobs=embedding_n_jobs,
+            ctx=RunContext(store=ctx.store),
         )
     return RuntimeReport(
         dataset=dataset,

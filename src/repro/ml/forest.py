@@ -30,7 +30,6 @@ parent registry.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
@@ -45,18 +44,12 @@ from repro.ml.base import (
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.ml.tree_batched import fit_tree_batch
 from repro.obs.telemetry import Telemetry, get_telemetry
+from repro.runtime.context import (  # noqa: F401  (resolve_n_jobs re-exported)
+    RunContext,
+    resolve_n_jobs,
+)
 
 ENGINES = ("fast", "reference")
-
-
-def resolve_n_jobs(n_jobs) -> int:
-    """Map an ``n_jobs`` spec to a worker count: ``0``/``None`` = all cores."""
-    if n_jobs is None or n_jobs == 0 or n_jobs == "auto":
-        return max(1, os.cpu_count() or 1)
-    count = int(n_jobs)
-    if count < 1:
-        raise ValueError(f"n_jobs must be >= 1 (or 0/None for auto), got {n_jobs}")
-    return count
 
 
 def _draw_tree_tasks(
@@ -143,12 +136,15 @@ class _BaseForest(BaseEstimator):
         bootstrap: bool = True,
         random_state: int | None = None,
         n_jobs: int | None = 1,
-        engine: str = "fast",
+        engine: str | None = None,
+        ctx: RunContext | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        ctx = RunContext.ensure(ctx, engine=engine)
+        engine = ctx.resolve_engine(ENGINES, default="fast", param="forest engine")
+        if ctx.n_jobs is not None and n_jobs == 1:
+            n_jobs = ctx.n_jobs
         resolve_n_jobs(n_jobs)  # fail fast on a bad spec; resolved again at fit
         self.n_estimators = n_estimators
         self.max_depth = max_depth

@@ -2,7 +2,8 @@
 
 ``repro census|features|embed|runtime|rank|label --telemetry-out run.json``
 writes a manifest capturing *what the run did*: the resolved CLI config,
-engine/n_jobs provenance, census-cache hit rates, per-phase wall clock,
+engine/n_jobs/version provenance, census-cache and per-stage
+artifact-store hit rates, per-phase and per-pipeline-stage wall clock,
 every telemetry counter/timer/gauge, and peak RSS.  The schema is
 documented in ``docs/observability.md``; bump :data:`SCHEMA_VERSION`
 whenever a field changes meaning.
@@ -24,6 +25,15 @@ SCHEMA_VERSION = 1
 #: Timer-name prefix marking coarse run phases (``phase/census`` ...);
 #: the manifest surfaces these in their own section.
 PHASE_PREFIX = "phase/"
+
+#: Timer-name prefix of declared pipeline stages (``stage/dataset`` ...,
+#: see :mod:`repro.runtime.pipeline`); surfaced as the ``stages`` section.
+STAGE_PREFIX = "stage/"
+
+#: Counter-name prefix of per-stage artifact-store lookups
+#: (``artifact/census/hits`` ...); surfaced as the ``artifact_store``
+#: section.
+ARTIFACT_PREFIX = "artifact/"
 
 logger = get_logger(__name__)
 
@@ -64,6 +74,8 @@ def build_manifest(
     ``config`` is the resolved run configuration (CLI args); ``extra``
     merges additional top-level sections provided by the command.
     """
+    from repro import __version__  # local import: repro/__init__ imports obs
+
     telemetry = telemetry if telemetry is not None else get_telemetry()
     data = telemetry.as_dict()
     config = _json_safe(config or {})
@@ -72,6 +84,11 @@ def build_manifest(
         name[len(PHASE_PREFIX):]: stats
         for name, stats in data["timers"].items()
         if name.startswith(PHASE_PREFIX)
+    }
+    stages = {
+        name[len(STAGE_PREFIX):]: stats
+        for name, stats in data["timers"].items()
+        if name.startswith(STAGE_PREFIX)
     }
     counters = data["counters"]
     hits = counters.get("census/cache_hits", 0)
@@ -85,6 +102,27 @@ def build_manifest(
         "load_status": data["annotations"].get("cache/load_status"),
     }
 
+    # Per-stage artifact-store accounting: every ArtifactStore lookup
+    # counts into ``artifact/{stage}/hits|misses``, so a warm rerun is
+    # auditable stage by stage (misses == 0 means the stage was skipped).
+    artifact_stages: dict[str, dict] = {}
+    for name, count in counters.items():
+        if not name.startswith(ARTIFACT_PREFIX):
+            continue
+        parts = name.split("/", 2)
+        if len(parts) != 3 or parts[2] not in ("hits", "misses"):
+            continue
+        entry = artifact_stages.setdefault(parts[1], {"hits": 0, "misses": 0})
+        entry[parts[2]] = count
+    for entry in artifact_stages.values():
+        entry_lookups = entry["hits"] + entry["misses"]
+        entry["hit_rate"] = (entry["hits"] / entry_lookups) if entry_lookups else 0.0
+    artifact_store = {
+        "stages": artifact_stages,
+        "load_status": data["annotations"].get("cache/load_status"),
+        "path": data["annotations"].get("cache/path"),
+    }
+
     manifest = {
         "schema_version": SCHEMA_VERSION,
         "command": command,
@@ -93,12 +131,15 @@ def build_manifest(
         "provenance": {
             "engine": config.get("engine") if isinstance(config, dict) else None,
             "n_jobs": config.get("n_jobs") if isinstance(config, dict) else None,
+            "repro_version": __version__,
             "python": platform.python_version(),
             "platform": platform.platform(),
             "annotations": data["annotations"],
         },
         "census_cache": census_cache,
+        "artifact_store": artifact_store,
         "phases": phases,
+        "stages": stages,
         "counters": counters,
         "timers": data["timers"],
         "gauges": data["gauges"],

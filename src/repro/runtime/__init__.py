@@ -1,0 +1,34 @@
+"""Unified execution runtime: context, artifact store, pipeline stages.
+
+One layer answering "how should this run execute?" for every stage of
+the library — see :mod:`repro.runtime.context` (engine/n_jobs/seed
+policy), :mod:`repro.runtime.store` (content-addressed cross-stage
+caching), and :mod:`repro.runtime.pipeline` (declared CLI stages).
+"""
+
+from repro.runtime.context import RunContext, resolve_engine, resolve_n_jobs
+from repro.runtime.pipeline import Pipeline, STAGES
+from repro.runtime.store import (
+    ArtifactStore,
+    STAGE_CENSUS,
+    STAGE_EMBED,
+    STAGE_FEATURES,
+    STAGE_WALKS,
+    artifact_key,
+    freeze_config,
+)
+
+__all__ = [
+    "RunContext",
+    "resolve_engine",
+    "resolve_n_jobs",
+    "Pipeline",
+    "STAGES",
+    "ArtifactStore",
+    "artifact_key",
+    "freeze_config",
+    "STAGE_CENSUS",
+    "STAGE_WALKS",
+    "STAGE_EMBED",
+    "STAGE_FEATURES",
+]

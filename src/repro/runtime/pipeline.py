@@ -1,0 +1,71 @@
+"""Declared pipeline stages executed through a :class:`RunContext`.
+
+The CLI drivers used to be ad-hoc scripts: each command timed its own
+phases, annotated its own ``experiment/engine`` keys, and logged its own
+cache summary.  :class:`Pipeline` recasts them as a declared sequence of
+named stages (``dataset → graph → census → features → embed →
+experiment``) executed through the context, so every command gets the
+same observability for free:
+
+* each stage runs under a ``stage/{name}`` telemetry span (wall-clock and
+  invocation counts land in the manifest's ``stages`` section);
+* the context's engine / n_jobs / seed / store provenance is annotated
+  once at pipeline start (``run/*`` keys), replacing the per-command
+  ``_annotate_experiment`` helpers;
+* artifact-store hit/miss counters accumulate per stage
+  (``artifact/{stage}/*``) and are summarised into the manifest's
+  ``artifact_store`` section.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.log import get_logger
+from repro.runtime.context import RunContext
+
+logger = get_logger(__name__)
+
+#: The canonical stage order of the experiment drivers.  Pipelines may
+#: run any subset (``repro census`` stops at "census"); declaring a stage
+#: outside this list is allowed but keeps these names for shared stages.
+STAGES = ("dataset", "graph", "census", "features", "embed", "experiment")
+
+_SPAN_PREFIX = "stage/"
+
+
+class Pipeline:
+    """A named sequence of stages running under one :class:`RunContext`.
+
+    Usage::
+
+        pipeline = Pipeline("rank", ctx)
+        with pipeline.stage("dataset"):
+            dataset = make_dataset(...)
+        with pipeline.stage("experiment"):
+            result = experiment.run(...)
+
+    Stages self-record: entering one opens a ``stage/{name}`` span in the
+    context's telemetry registry and logs at DEBUG; the set of stages that
+    actually ran is annotated as ``pipeline/stages`` so the manifest can
+    report declared order versus executed stages.
+    """
+
+    def __init__(self, name: str, ctx: RunContext | None = None) -> None:
+        self.name = name
+        self.ctx = ctx if ctx is not None else RunContext()
+        self.executed: list[str] = []
+        telemetry = self.ctx.telemetry_registry
+        telemetry.annotate("pipeline/name", name)
+        self.ctx.annotate_provenance()
+
+    @contextmanager
+    def stage(self, name: str):
+        """Run one named stage: ``stage/{name}`` span + executed-order record."""
+        if name not in self.executed:
+            self.executed.append(name)
+        telemetry = self.ctx.telemetry_registry
+        telemetry.annotate("pipeline/stages", tuple(self.executed))
+        logger.debug("pipeline %s: stage %s", self.name, name)
+        with telemetry.span(_SPAN_PREFIX + name):
+            yield self.ctx

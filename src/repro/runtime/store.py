@@ -1,0 +1,306 @@
+"""Content-addressed artifact store shared by every pipeline stage.
+
+This generalises the PR-3 ``CensusCache`` from "per-root census counters"
+to *any* stage artifact: census counters, walk corpora, embedding
+matrices, and feature matrices all memoise through one store, so a warm
+rerun of ``repro rank``/``repro label``/``repro runtime`` skips every
+already-computed stage end to end.
+
+Keys are content-addressed triples::
+
+    (graph fingerprint, stage name, frozen stage config)
+
+The fingerprint (see :meth:`repro.core.graph.HeteroGraph.fingerprint`)
+hashes the labelled structure, the stage name namespaces artifact kinds
+(``"census"``, ``"walks"``, ``"embed"``, ``"features"``), and the frozen
+config captures every parameter the artifact depends on — a different
+graph, stage, or parameterisation simply misses, so the store never
+serves stale results.
+
+Durability semantics are inherited unchanged from the census cache:
+
+* :meth:`ArtifactStore.save` writes a temp file in the target directory
+  and atomically ``os.replace``\\ s it over the destination — a crash
+  mid-save (including ``kill -9``) can never corrupt an existing file;
+* a file that fails to load (corrupt bytes, old format version) is
+  reported through ``logging`` and :attr:`ArtifactStore.load_status`
+  instead of silently looking like an empty store;
+* optional FIFO eviction bounds the entry count across *all* stages.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs.log import get_logger
+from repro.obs.telemetry import get_telemetry
+
+#: Bumped whenever the on-disk layout changes; mismatching files are
+#: ignored rather than risking unpickling into the wrong shape.  Version 1
+#: was the census-only ``CensusCache`` layout; version 2 introduced the
+#: ``(fingerprint, stage, config)`` key scheme.
+_FORMAT_VERSION = 2
+
+#: Canonical stage names used by the built-in pipelines.  Stage names are
+#: open-ended — these exist so the layers agree on spelling.
+STAGE_CENSUS = "census"
+STAGE_WALKS = "walks"
+STAGE_EMBED = "embed"
+STAGE_FEATURES = "features"
+
+ArtifactKey = tuple[str, str, tuple]
+
+logger = get_logger(__name__)
+
+
+def freeze_config(value):
+    """Recursively convert a stage config into a hashable, picklable key.
+
+    Dicts become sorted ``(key, value)`` tuples, sequences become tuples,
+    sets become sorted tuples; scalars pass through.  Dataclass configs
+    should be flattened by the caller (field order is part of the key) —
+    see ``repro.core.cache.census_config_key`` for the census example.
+    """
+    if isinstance(value, Mapping):
+        return tuple(
+            (str(key), freeze_config(value[key])) for key in sorted(value)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_config(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(freeze_config(item) for item in value))
+    return value
+
+
+def artifact_key(fingerprint: str, stage: str, config) -> ArtifactKey:
+    """The content address of one stage artifact."""
+    return (str(fingerprint), str(stage), freeze_config(config))
+
+
+def _copy_artifact(value):
+    """Defensive copy so callers mutating a hit cannot corrupt later hits.
+
+    ``numpy`` arrays get a C-level ``.copy()``; everything else (Counters,
+    tuples of arrays, dataclasses of plain data) goes through
+    :func:`copy.deepcopy`.
+    """
+    copier = getattr(value, "copy", None)
+    if copier is not None and type(value).__module__ == "numpy":
+        return copier()
+    return copy.deepcopy(value)
+
+
+class ArtifactStore:
+    """Content-addressed artifact memo with optional pickle persistence.
+
+    Parameters
+    ----------
+    path:
+        Optional file backing the store.  When given, existing entries are
+        loaded eagerly and :meth:`save` writes the current contents back
+        (atomically).  :attr:`load_status` records how the eager load
+        went: ``None`` (no path), ``"missing"`` (no file yet),
+        ``"loaded"``, ``"corrupt"``, or ``"version-mismatch"``.
+    max_entries:
+        Optional bound on the number of retained entries across all
+        stages; inserting beyond it evicts the oldest entries (FIFO).
+        ``None`` (default) never evicts.
+    description:
+        Human name used in log messages (``"artifact store"`` by default;
+        the census-cache shim passes ``"census cache"``).
+    log:
+        Logger for load/save diagnostics; defaults to this module's.
+
+    Hits and misses are tracked globally (:attr:`hits`/:attr:`misses`)
+    and per stage (:attr:`stage_hits`/:attr:`stage_misses`), and every
+    lookup is counted in the run telemetry as ``artifact/{stage}/hits``
+    or ``artifact/{stage}/misses`` — the run manifest's per-stage cache
+    accounting reads exactly those counters.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        max_entries: int | None = None,
+        *,
+        description: str = "artifact store",
+        log=None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.path = Path(path) if path is not None else None
+        self.max_entries = max_entries
+        self.description = description
+        self._log = log if log is not None else logger
+        self._entries: dict[ArtifactKey, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stage_hits: dict[str, int] = {}
+        self.stage_misses: dict[str, int] = {}
+        self.load_status: str | None = None
+        if self.path is not None:
+            if self.path.exists():
+                self._load(self.path)
+            else:
+                self.load_status = "missing"
+                get_telemetry().annotate("cache/load_status", self.load_status)
+
+    # -- persistence ------------------------------------------------------
+    def _load(self, path: Path) -> None:
+        telemetry = get_telemetry()
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        # Corrupt bytes surface from pickle as almost any exception type
+        # (the docs name UnpicklingError, AttributeError, EOFError,
+        # ImportError, and IndexError; garbage opcodes also raise
+        # ValueError/KeyError), so treat every failure as a corrupt file.
+        except Exception as exc:
+            self.load_status = "corrupt"
+            telemetry.count("cache/load_corrupt")
+            telemetry.annotate("cache/load_status", self.load_status)
+            self._log.warning(
+                "%s %s is unreadable (%s: %s); starting empty "
+                "— the next save() will replace it",
+                self.description,
+                path,
+                type(exc).__name__,
+                exc,
+            )
+            return
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _FORMAT_VERSION
+            and isinstance(payload.get("entries"), dict)
+        ):
+            self._entries.update(payload["entries"])
+            self.load_status = "loaded"
+            telemetry.count("cache/loads")
+            telemetry.count("cache/load_entries", len(payload["entries"]))
+        else:
+            found = payload.get("version") if isinstance(payload, dict) else None
+            self.load_status = "version-mismatch"
+            telemetry.count("cache/load_version_mismatch")
+            self._log.warning(
+                "%s %s has format version %r (expected %d); "
+                "ignoring its contents — the next save() will upgrade it",
+                self.description,
+                path,
+                found,
+                _FORMAT_VERSION,
+            )
+        telemetry.annotate("cache/load_status", self.load_status)
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Atomically write the store to ``path`` (default: constructor path).
+
+        The payload is written to a temp file in the destination
+        directory and moved into place with :func:`os.replace`, so an
+        interrupted save never clobbers the previous on-disk contents; a
+        crash can only leave a stray temp file behind.
+        """
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError(
+                f"{self.description} has no path; pass one to save()"
+            )
+        payload = {"version": _FORMAT_VERSION, "entries": self._entries}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=target.parent or Path("."), prefix=f"{target.name}.", suffix=".tmp"
+        )
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, target)
+        telemetry = get_telemetry()
+        telemetry.count("cache/saves")
+        telemetry.count("cache/save_entries", len(self._entries))
+        self._log.debug(
+            "%s saved: %d entries -> %s",
+            self.description,
+            len(self._entries),
+            target,
+        )
+        return target
+
+    # -- memoisation ------------------------------------------------------
+    def get(self, fingerprint: str, stage: str, config):
+        """The stored artifact for the address, or ``None`` on a miss."""
+        key = artifact_key(fingerprint, stage, config)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self.stage_misses[stage] = self.stage_misses.get(stage, 0) + 1
+            get_telemetry().count(f"artifact/{stage}/misses")
+            return None
+        self.hits += 1
+        self.stage_hits[stage] = self.stage_hits.get(stage, 0) + 1
+        get_telemetry().count(f"artifact/{stage}/hits")
+        return _copy_artifact(entry)
+
+    def put(self, fingerprint: str, stage: str, config, value) -> None:
+        """Store an artifact (overwrites any existing entry at the address).
+
+        When ``max_entries`` is set, inserting a novel key beyond the
+        bound evicts the oldest entries first (dict insertion order),
+        regardless of which stage they belong to.
+        """
+        key = artifact_key(fingerprint, stage, config)
+        if (
+            self.max_entries is not None
+            and key not in self._entries
+            and len(self._entries) >= self.max_entries
+        ):
+            evicted = 0
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+                evicted += 1
+            self.evictions += evicted
+            get_telemetry().count("cache/evictions", evicted)
+        self._entries[key] = _copy_artifact(value)
+
+    # -- introspection ----------------------------------------------------
+    def stage_stats(self) -> dict[str, dict[str, int]]:
+        """Per-stage ``{"hits": ..., "misses": ..., "entries": ...}`` view."""
+        stages: dict[str, dict[str, int]] = {}
+        for name in set(self.stage_hits) | set(self.stage_misses):
+            stages[name] = {
+                "hits": self.stage_hits.get(name, 0),
+                "misses": self.stage_misses.get(name, 0),
+                "entries": 0,
+            }
+        for _fp, stage, _cfg in self._entries:
+            stages.setdefault(stage, {"hits": 0, "misses": 0, "entries": 0})
+            stages[stage]["entries"] += 1
+        return stages
+
+    def stage_entries(self, stage: str) -> int:
+        """Number of stored entries belonging to one stage."""
+        return sum(1 for _fp, entry_stage, _cfg in self._entries if entry_stage == stage)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stage_hits.clear()
+        self.stage_misses.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArtifactStore(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

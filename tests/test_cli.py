@@ -380,6 +380,135 @@ class TestLabel:
         assert "label task" in captured.err
 
 
+class TestVersion:
+    def test_version_flag_prints_and_exits(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestArtifactStore:
+    def test_features_store_logs_summary(self, graph_json, tmp_path, capsys):
+        store_path = tmp_path / "store.pkl"
+        args = [
+            "features",
+            graph_json,
+            "--nodes",
+            "i1,i2",
+            "--emax",
+            "2",
+            "--artifact-store",
+            str(store_path),
+            "--out",
+            str(tmp_path / "features.json"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert store_path.exists()
+        assert "artifact store:" in first.err
+
+        # Warm rerun: the whole feature matrix is served from the store.
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert "artifact store:" in second.err
+        assert first.out == second.out
+
+    def test_census_cache_alias_still_works(self, graph_json, tmp_path, capsys):
+        args = [
+            "census",
+            graph_json,
+            "--root",
+            "i1",
+            "--emax",
+            "2",
+            "--census-cache",
+            str(tmp_path / "census.cache"),
+        ]
+        assert main(args) == 0
+        assert "census cache:" in capsys.readouterr().err
+
+    def test_label_engine_flag(self, imdb_json, tmp_path, capsys):
+        manifest_path = tmp_path / "run.json"
+        code = main(
+            [
+                "label",
+                imdb_json,
+                "--features",
+                "subgraph",
+                "--fractions",
+                "0.5",
+                "--repeats",
+                "1",
+                "--per-label",
+                "4",
+                "--emax",
+                "2",
+                "--engine",
+                "reference",
+                "--telemetry-out",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        assert "Figure 5A-C" in capsys.readouterr().out
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["provenance"]["annotations"]["run/engine"] == "reference"
+
+    def test_rank_warm_rerun_skips_census_and_embed(self, tmp_path, capsys):
+        """Acceptance gate: against a populated store, ``repro rank``
+        recomputes no census or embedding artifact and its output is
+        bit-identical to the cold run."""
+        store_path = tmp_path / "store.pkl"
+        manifest_path = tmp_path / "run.json"
+        args = [
+            "rank",
+            "--conferences",
+            "KDD",
+            "--families",
+            "subgraph,deepwalk",
+            "--regressors",
+            "LinRegr",
+            "--train-years",
+            "2013,2014",
+            "--institutions",
+            "10",
+            "--authors",
+            "2",
+            "--papers",
+            "6",
+            "--trees",
+            "5",
+            "--emax",
+            "2",
+            "--artifact-store",
+            str(store_path),
+            "--telemetry-out",
+            str(manifest_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        cold_stages = json.loads(manifest_path.read_text())["artifact_store"][
+            "stages"
+        ]
+        assert cold_stages["census"]["misses"] > 0
+        assert cold_stages["embed"]["misses"] > 0
+        assert store_path.exists()
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        warm_manifest = json.loads(manifest_path.read_text())
+        stages = warm_manifest["artifact_store"]["stages"]
+        assert stages["census"]["hits"] > 0
+        assert stages["census"]["misses"] == 0
+        assert stages["embed"]["hits"] > 0
+        assert stages["embed"]["misses"] == 0
+        assert warm_manifest["stages"]  # pipeline stage timers recorded
+        assert warm == cold
+
+
 class TestTelemetryAndLogging:
     def test_telemetry_out_writes_manifest(self, graph_json, tmp_path, capsys):
         manifest_path = tmp_path / "run.json"

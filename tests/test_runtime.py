@@ -1,0 +1,335 @@
+"""Tests for the unified execution runtime: context, store, pipeline.
+
+Covers the :class:`RunContext` resolution shims, the single
+:func:`resolve_engine` validator (every call site must enumerate its
+valid choices), and the content-addressed :class:`ArtifactStore` —
+cross-stage key isolation, durability statuses, and FIFO eviction
+across mixed stage types.
+"""
+
+import logging
+import pickle
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.core.census import CensusConfig, subgraph_census
+from repro.embeddings.line import LINE
+from repro.embeddings.skipgram import SkipGramTrainer, walks_to_pairs
+from repro.embeddings.walks import node2vec_walks, uniform_random_walks
+from repro.exceptions import CensusError
+from repro.ml.forest import RandomForestRegressor
+from repro.obs import fresh_telemetry
+from repro.runtime import (
+    ArtifactStore,
+    Pipeline,
+    RunContext,
+    artifact_key,
+    freeze_config,
+    resolve_engine,
+    resolve_n_jobs,
+)
+
+FP = "fingerprint-a"
+
+
+class TestResolveEngine:
+    def test_valid_name_passes_through(self):
+        assert resolve_engine("fast", ("fast", "reference")) == "fast"
+
+    def test_message_enumerates_choices(self):
+        with pytest.raises(
+            ValueError,
+            match="unknown engine 'turbo': valid choices are 'fast', 'reference'",
+        ):
+            resolve_engine("turbo", ("fast", "reference"))
+
+    def test_custom_param_and_error(self):
+        class Boom(Exception):
+            pass
+
+        with pytest.raises(Boom, match="unknown widget engine 'x'"):
+            resolve_engine("x", ("a",), param="widget engine", error=Boom)
+
+
+class TestEngineValidationCallSites:
+    """Every engine dispatch shares the unified wording (the PR-5 bugfix:
+    previously each site raised a differently-shaped error, some without
+    naming the valid choices)."""
+
+    def test_census_site(self, publication_graph):
+        with pytest.raises(
+            CensusError,
+            match="unknown census engine 'turbo': valid choices are "
+            "'fast', 'reference'",
+        ):
+            subgraph_census(
+                publication_graph, 0, CensusConfig(max_edges=2), engine="turbo"
+            )
+
+    def test_walks_site(self, publication_graph):
+        with pytest.raises(ValueError, match="unknown walk engine 'turbo'"):
+            uniform_random_walks(
+                publication_graph, num_walks=1, walk_length=2, engine="turbo"
+            )
+
+    def test_node2vec_walks_site(self, publication_graph):
+        with pytest.raises(ValueError, match="unknown walk engine 'turbo'"):
+            node2vec_walks(
+                publication_graph, num_walks=1, walk_length=2, q=2.0, engine="turbo"
+            )
+
+    def test_pairs_site(self):
+        walks = np.array([[0, 1, 2]], dtype=np.int64)
+        with pytest.raises(
+            ValueError, match="unknown pairs engine 'turbo': valid choices are"
+        ):
+            walks_to_pairs(walks, 1, np.random.default_rng(0), engine="turbo")
+
+    def test_trainer_site(self):
+        with pytest.raises(
+            ValueError, match="unknown trainer engine 'turbo': valid choices are"
+        ):
+            SkipGramTrainer(dim=4, engine="turbo")
+
+    def test_line_site(self):
+        with pytest.raises(
+            ValueError, match="unknown LINE engine 'turbo': valid choices are"
+        ):
+            LINE(dim=4, engine="turbo")
+
+    def test_forest_site(self):
+        with pytest.raises(
+            ValueError,
+            match="unknown forest engine 'turbo': valid choices are "
+            "'fast', 'reference'",
+        ):
+            RandomForestRegressor(n_estimators=2, engine="turbo")
+
+
+class TestRunContext:
+    def test_ensure_builds_fresh_context(self):
+        ctx = RunContext.ensure(None, engine="reference")
+        assert ctx.engine == "reference"
+        assert ctx.n_jobs is None
+
+    def test_ensure_legacy_kwargs_override_context(self):
+        base = RunContext(engine="fast", n_jobs=2)
+        ctx = RunContext.ensure(base, engine="reference")
+        assert ctx.engine == "reference"
+        assert ctx.n_jobs == 2  # untouched fields survive
+        assert base.engine == "fast"  # original context is not mutated
+
+    def test_ensure_none_overrides_are_ignored(self):
+        base = RunContext(engine="reference")
+        assert RunContext.ensure(base, engine=None) is base
+
+    def test_resolve_engine_uses_default_when_unset(self):
+        assert RunContext().resolve_engine(("fast", "reference")) == "fast"
+
+    def test_resolved_n_jobs_auto(self):
+        assert RunContext(n_jobs=0).resolved_n_jobs() >= 1
+        assert RunContext().resolved_n_jobs(default=3) == 3
+
+    def test_resolve_n_jobs_rejects_negative(self):
+        with pytest.raises(ValueError, match="n_jobs"):
+            resolve_n_jobs(-2)
+        assert resolve_n_jobs("auto") >= 1
+
+    def test_resolved_seed(self):
+        assert RunContext(seed=9).resolved_seed() == 9
+        assert RunContext().resolved_seed(default=4) == 4
+
+
+class TestFreezeConfig:
+    def test_dict_order_is_canonicalised(self):
+        assert freeze_config({"b": 1, "a": [1, 2]}) == freeze_config(
+            {"a": (1, 2), "b": 1}
+        )
+
+    def test_sets_are_sorted(self):
+        assert freeze_config({3, 1, 2}) == (1, 2, 3)
+
+    def test_nested_structures_hashable(self):
+        frozen = freeze_config({"x": [{"y": {1, 2}}, "s"]})
+        hash(frozen)  # must not raise
+
+
+class TestArtifactStoreKeys:
+    def test_cross_stage_isolation(self):
+        store = ArtifactStore()
+        config = (2, None)
+        store.put(FP, "census", config, {"code": 1})
+        store.put(FP, "walks", config, np.arange(3))
+        assert store.get(FP, "census", config) == {"code": 1}
+        np.testing.assert_array_equal(store.get(FP, "walks", config), np.arange(3))
+        assert store.get(FP, "embed", config) is None
+
+    def test_fingerprint_isolation(self):
+        store = ArtifactStore()
+        store.put(FP, "census", (1,), "a")
+        assert store.get("fingerprint-b", "census", (1,)) is None
+
+    def test_hits_are_defensive_copies(self):
+        store = ArtifactStore()
+        store.put(FP, "embed", (1,), np.zeros(3))
+        first = store.get(FP, "embed", (1,))
+        first[:] = 99.0
+        np.testing.assert_array_equal(store.get(FP, "embed", (1,)), np.zeros(3))
+
+    def test_counters_track_per_stage(self):
+        store = ArtifactStore()
+        store.put(FP, "census", (1,), "x")
+        store.get(FP, "census", (1,))
+        store.get(FP, "embed", (1,))
+        assert store.stage_hits == {"census": 1}
+        assert store.stage_misses == {"embed": 1}
+        stats = store.stage_stats()
+        assert stats["census"] == {"hits": 1, "misses": 0, "entries": 1}
+        assert stats["embed"]["misses"] == 1
+
+    def test_artifact_key_freezes_config(self):
+        key = artifact_key(FP, "census", {"b": 1, "a": 2})
+        assert key == (FP, "census", (("a", 2), ("b", 1)))
+
+
+@contextmanager
+def captured_store_warnings():
+    """Collect warning records from the store module's logger.
+
+    ``caplog`` cannot be used: the ``repro`` hierarchy sets
+    ``propagate = False`` once the CLI has configured logging (other
+    tests in the session do), so records never reach the root logger
+    pytest listens on.  A handler on the module logger sees them
+    regardless.
+    """
+    records: list[logging.LogRecord] = []
+
+    class _Collector(logging.Handler):
+        def emit(self, record: logging.LogRecord) -> None:
+            records.append(record)
+
+    store_logger = logging.getLogger("repro.runtime.store")
+    handler = _Collector(level=logging.WARNING)
+    old_level = store_logger.level
+    store_logger.addHandler(handler)
+    store_logger.setLevel(logging.WARNING)
+    try:
+        yield records
+    finally:
+        store_logger.removeHandler(handler)
+        store_logger.setLevel(old_level)
+
+
+class TestArtifactStoreDurability:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        store = ArtifactStore(path)
+        assert store.load_status == "missing"
+        store.put(FP, "census", (1,), {"c": 2})
+        store.save()
+        reloaded = ArtifactStore(path)
+        assert reloaded.load_status == "loaded"
+        assert reloaded.get(FP, "census", (1,)) == {"c": 2}
+
+    def test_corrupt_file_reported(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        path.write_bytes(b"not a pickle")
+        with captured_store_warnings() as records:
+            store = ArtifactStore(path)
+        assert store.load_status == "corrupt"
+        assert len(store) == 0
+        assert any("unreadable" in record.getMessage() for record in records)
+
+    def test_version_mismatch_reported(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        path.write_bytes(pickle.dumps({"version": 1, "entries": {"k": "v"}}))
+        with captured_store_warnings() as records:
+            store = ArtifactStore(path)
+        assert store.load_status == "version-mismatch"
+        assert len(store) == 0
+        assert any("version" in record.getMessage() for record in records)
+
+    def test_save_is_atomic_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "store.pkl"
+        store = ArtifactStore(path)
+        store.put(FP, "walks", (1,), np.arange(2))
+        store.save()
+        assert not list(tmp_path.glob("store.pkl.*.tmp"))
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError, match="path"):
+            ArtifactStore().save()
+
+
+class TestArtifactStoreEviction:
+    def test_fifo_across_mixed_stages(self):
+        store = ArtifactStore(max_entries=2)
+        store.put(FP, "census", (1,), "a")
+        store.put(FP, "walks", (1,), "b")
+        store.put(FP, "embed", (1,), "c")
+        assert store.get(FP, "census", (1,)) is None  # oldest, evicted
+        assert store.get(FP, "walks", (1,)) == "b"
+        assert store.get(FP, "embed", (1,)) == "c"
+        assert store.evictions == 1
+        assert len(store) == 2
+
+    def test_overwrite_does_not_evict(self):
+        store = ArtifactStore(max_entries=2)
+        store.put(FP, "census", (1,), "a")
+        store.put(FP, "census", (2,), "b")
+        store.put(FP, "census", (1,), "a2")
+        assert store.evictions == 0
+        assert store.get(FP, "census", (1,)) == "a2"
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ArtifactStore(max_entries=0)
+
+
+class TestPipeline:
+    def test_stages_record_spans_and_order(self):
+        with fresh_telemetry() as telemetry:
+            pipeline = Pipeline("demo", RunContext(engine="fast", n_jobs=1))
+            with pipeline.stage("dataset"):
+                pass
+            with pipeline.stage("experiment"):
+                pass
+            assert pipeline.executed == ["dataset", "experiment"]
+            data = telemetry.as_dict()
+            assert "stage/dataset" in data["timers"]
+            assert "stage/experiment" in data["timers"]
+            assert data["annotations"]["pipeline/name"] == "demo"
+            # Annotations are stringified by the registry.
+            assert data["annotations"]["pipeline/stages"] == str(
+                ("dataset", "experiment")
+            )
+            assert data["annotations"]["run/engine"] == "fast"
+            assert data["annotations"]["run/n_jobs"] == "1"
+
+
+class TestStoreDrivenStages:
+    def test_walk_corpus_cached_for_int_seed(self, publication_graph):
+        store = ArtifactStore()
+        ctx = RunContext(store=store)
+        first = uniform_random_walks(
+            publication_graph, num_walks=2, walk_length=5, rng=7, ctx=ctx
+        )
+        second = uniform_random_walks(
+            publication_graph, num_walks=2, walk_length=5, rng=7, ctx=ctx
+        )
+        np.testing.assert_array_equal(first, second)
+        assert store.stage_hits.get("walks") == 1
+
+    def test_generator_rng_is_never_cached(self, publication_graph):
+        store = ArtifactStore()
+        ctx = RunContext(store=store)
+        uniform_random_walks(
+            publication_graph,
+            num_walks=1,
+            walk_length=4,
+            rng=np.random.default_rng(0),
+            ctx=ctx,
+        )
+        assert len(store) == 0
