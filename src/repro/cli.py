@@ -99,6 +99,7 @@ def _build_context(args) -> RunContext:
     return RunContext(
         engine=getattr(args, "engine", None),
         n_jobs=getattr(args, "n_jobs", None),
+        partitions=getattr(args, "partitions", None),
         seed=getattr(args, "seed", None),
         store=store,
     )
@@ -468,6 +469,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             help="worker processes for the census (0 = all cores)",
         )
+        p.add_argument(
+            "--partitions",
+            type=int,
+            default=None,
+            help="shard the census over this many halo-complete graph "
+            "partitions (default: fan out individual roots)",
+        )
         store_args(p)
         common_args(p)
 
@@ -599,6 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the experiment grid and forests "
         "(results are identical for any value)",
     )
+    p_rank.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="shard the census stage over this many halo-complete graph "
+        "partitions (results are identical for any value)",
+    )
     store_args(p_rank)
     common_args(p_rank)
     p_rank.set_defaults(func=cmd_rank)
@@ -647,6 +662,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the training sweep "
         "(results are identical for any value)",
+    )
+    p_label.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="shard the census stage over this many halo-complete graph "
+        "partitions (results are identical for any value)",
     )
     store_args(p_label)
     common_args(p_label)

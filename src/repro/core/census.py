@@ -105,6 +105,18 @@ def effective_labelset(graph: HeteroGraph, config: CensusConfig) -> LabelSet:
     return graph.labelset
 
 
+def _cap_exceeded(root: int, cap) -> CensusError:
+    """The shared ``max_subgraphs`` overflow error, naming the offending root.
+
+    Both engines raise through here so the wording (and the root id the
+    user needs in order to set a ``d_max``) can never drift apart.
+    """
+    return CensusError(
+        f"census for root {root} exceeded max_subgraphs={cap}; "
+        "set a d_max or raise the cap"
+    )
+
+
 class _CensusRun:
     """Mutable state of one rooted enumeration (reference engine).
 
@@ -205,10 +217,7 @@ class _CensusRun:
         self.emitted += 1
         cap = self.config.max_subgraphs
         if cap is not None and self.emitted > cap:
-            raise CensusError(
-                f"census for root {self.root} exceeded max_subgraphs={cap}; "
-                "set a d_max or raise the cap"
-            )
+            raise _cap_exceeded(self.root, cap)
 
     def _key_for_current(self) -> object:
         if self.config.key == "hash":
@@ -741,11 +750,7 @@ class _FastCensusRun:
         return counts
 
     def _raise_cap(self) -> None:
-        raise CensusError(
-            f"census for root {self.root} exceeded "
-            f"max_subgraphs={self.config.max_subgraphs}; "
-            "set a d_max or raise the cap"
-        )
+        raise _cap_exceeded(self.root, self.config.max_subgraphs)
 
 
 def subgraph_census(

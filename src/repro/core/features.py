@@ -246,11 +246,17 @@ class SubgraphFeatureExtractor:
         recomputation and fresh censuses are written back, so ablation
         grids that re-census overlapping node sets under one config pay
         for each root once.
+    partitions:
+        Shard count for the partitioned census (see :mod:`repro.dist`).
+        When set, uncached roots are routed through halo-complete graph
+        shards instead of fanning individual roots over the whole graph;
+        results stay bit-identical.  ``None`` (default) keeps the
+        root-fanning path.
     ctx:
         Optional :class:`~repro.runtime.context.RunContext`; supplies
-        ``n_jobs`` and the artifact store when the legacy keywords are
-        not given explicitly.  A context store also enables
-        feature-matrix caching in :meth:`fit_transform`.
+        ``n_jobs``, ``partitions``, and the artifact store when the
+        legacy keywords are not given explicitly.  A context store also
+        enables feature-matrix caching in :meth:`fit_transform`.
     """
 
     def __init__(
@@ -259,24 +265,32 @@ class SubgraphFeatureExtractor:
         n_jobs: int | None = None,
         cache: "CensusCache | ArtifactStore | None" = None,
         *,
+        partitions: int | None = None,
         ctx: RunContext | None = None,
     ) -> None:
         if n_jobs is not None and n_jobs < 1:
             raise FeatureError(f"n_jobs must be >= 1, got {n_jobs}")
         if isinstance(cache, ArtifactStore):
             cache = CensusCache.over(cache)
-        ctx = RunContext.ensure(ctx, n_jobs=n_jobs)
+        ctx = RunContext.ensure(ctx, n_jobs=n_jobs, partitions=partitions)
         if cache is None and ctx.store is not None:
             cache = CensusCache.over(ctx.store)
         self.config = config if config is not None else CensusConfig()
         self.n_jobs = ctx.resolved_n_jobs(default=1)
+        self.partitions = ctx.resolved_partitions()
         self.cache = cache
         self.ctx = ctx
         #: Census engine (None = the census default); threaded into every
         #: subgraph_census call, including pool workers.
         self.engine = ctx.engine
 
-    def census_many(self, graph: HeteroGraph, nodes: Sequence[int]) -> list[Counter]:
+    def census_many(
+        self,
+        graph: HeteroGraph,
+        nodes: Sequence[int],
+        *,
+        partitions: int | None = None,
+    ) -> list[Counter]:
         """Run the rooted census for every node in ``nodes``.
 
         Results align with ``nodes`` positionally.  Duplicate roots are
@@ -290,9 +304,20 @@ class SubgraphFeatureExtractor:
         amortise its startup (``nodes`` empty, or fewer pending roots
         than workers); worker-side timing is merged back into the
         parent's telemetry either way.
+
+        ``partitions`` (or the extractor-level setting) switches the
+        uncached roots onto the sharded driver of
+        :mod:`repro.dist.sharded`: the graph is cut into that many
+        halo-complete shards (memoised in the context's artifact store)
+        and each worker censuses only the roots its shard owns.
+        Results are bit-identical either way.
         """
         config = self.config
         cache = self.cache
+        if partitions is None:
+            partitions = self.partitions
+        elif partitions < 1:
+            raise FeatureError(f"partitions must be >= 1, got {partitions}")
         telemetry = get_telemetry()
         # node -> positions in the output; computing per *unique* node is
         # the dedup bugfix: duplicates used to miss the cache once per
@@ -319,7 +344,32 @@ class SubgraphFeatureExtractor:
         else:
             pending = list(positions)
         if pending:
-            if self.n_jobs == 1 or len(pending) < self.n_jobs:
+            if partitions is not None:
+                # Shard fan-out: cut (or fetch) halo-complete partitions
+                # and census each pending root inside its owning shard.
+                from repro.dist.partition import PartitionConfig
+                from repro.dist.sharded import (
+                    ensure_partitions,
+                    sharded_census_map,
+                )
+
+                pset = ensure_partitions(
+                    graph,
+                    PartitionConfig(num_partitions=partitions),
+                    config,
+                    self.ctx,
+                )
+                computed.update(
+                    sharded_census_map(
+                        graph,
+                        pending,
+                        config,
+                        pset,
+                        engine=self.engine,
+                        n_jobs=self.n_jobs,
+                    )
+                )
+            elif self.n_jobs == 1 or len(pending) < self.n_jobs:
                 with telemetry.span("census/chunk"):
                     for node in pending:
                         with telemetry.span("census/root"):

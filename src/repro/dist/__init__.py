@@ -1,0 +1,41 @@
+"""Distributed census: halo-complete graph shards + partition fan-out.
+
+The census is local by construction (a rooted subgraph with ``e_max``
+edges never leaves the ``e_max``-ball of its root), so it shards: cut
+the node set into ``k`` owned ranges, expand each shard with the halo
+its roots can reach, and every shard censuses its own roots against a
+compact local adjacency — bit-identical to the single-shard engines.
+See ``docs/distributed_census.md`` for the partitioning scheme, the
+halo-depth derivation, and the merge semantics; a socket/RPC dispatch
+layer (ROADMAP item 2) plugs in above :func:`sharded_census_map`.
+"""
+
+from repro.dist.partition import (
+    GraphPartition,
+    PartitionConfig,
+    PartitionGraph,
+    PartitionSet,
+    STRATEGIES,
+    partition_graph,
+    partition_store_config,
+    required_halo_depth,
+)
+from repro.dist.sharded import (
+    ensure_partitions,
+    sharded_census_map,
+    subgraph_census_sharded,
+)
+
+__all__ = [
+    "GraphPartition",
+    "PartitionConfig",
+    "PartitionGraph",
+    "PartitionSet",
+    "STRATEGIES",
+    "ensure_partitions",
+    "partition_graph",
+    "partition_store_config",
+    "required_halo_depth",
+    "sharded_census_map",
+    "subgraph_census_sharded",
+]

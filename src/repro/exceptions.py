@@ -32,6 +32,11 @@ class CensusError(ReproError):
     maximum edge count."""
 
 
+class PartitionError(ReproError):
+    """Raised for invalid graph-partitioning configurations or for nodes
+    routed to a shard that does not contain them (see :mod:`repro.dist`)."""
+
+
 class FeatureError(ReproError):
     """Raised when feature matrices cannot be constructed or aligned, e.g.
     transforming with an empty vocabulary."""

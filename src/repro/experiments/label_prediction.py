@@ -180,9 +180,14 @@ class LabelPredictionExperiment:
                 f"layout must be 'dense' or 'sparse', got {self.config.layout!r}"
             )
         self.ctx = RunContext.ensure(ctx)
-        # Feature stages take the config's engine and the context's store;
-        # n_jobs stays with the sweep fan-out, not the extractors.
-        self._stage_ctx = RunContext(engine=self.config.engine, store=self.ctx.store)
+        # Feature stages take the config's engine and the context's store
+        # (plus the census shard count); n_jobs stays with the sweep
+        # fan-out, not the extractors.
+        self._stage_ctx = RunContext(
+            engine=self.config.engine,
+            partitions=self.ctx.partitions,
+            store=self.ctx.store,
+        )
         rng = np.random.default_rng(self.config.seed)
         self.nodes, self.targets = sample_nodes_per_label(
             graph,

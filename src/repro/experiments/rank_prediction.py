@@ -178,11 +178,14 @@ class RankPredictionExperiment:
                 f"layout must be 'dense' or 'sparse', got {self.config.layout!r}"
             )
         self.ctx = RunContext.ensure(ctx)
-        # Stages only take the store from the context: the experiment's
-        # engine/n_jobs policy lives in its config (forest_engine, n_jobs),
-        # so a CLI-level engine choice never silently switches the
-        # census/embedding pipelines under an experiment.
-        self._stage_ctx = RunContext(store=self.ctx.store)
+        # Stages only take the store and census shard count from the
+        # context: the experiment's engine/n_jobs policy lives in its
+        # config (forest_engine, n_jobs), so a CLI-level engine choice
+        # never silently switches the census/embedding pipelines under
+        # an experiment.
+        self._stage_ctx = RunContext(
+            partitions=self.ctx.partitions, store=self.ctx.store
+        )
         self._graphs: dict[tuple[str, int], object] = {}
         self._families: dict[tuple[str, str], dict[int, object]] = {}
         history = [y for y in mag.config.years if y < self.config.test_year]

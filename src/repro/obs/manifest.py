@@ -117,11 +117,27 @@ def build_manifest(
     for entry in artifact_stages.values():
         entry_lookups = entry["hits"] + entry["misses"]
         entry["hit_rate"] = (entry["hits"] / entry_lookups) if entry_lookups else 0.0
+    # Store-wide residency recorded by ``ArtifactStore.record_stats`` as
+    # ``store/*`` gauges (entry counts, evictions, approximate payload
+    # bytes); absent when the run never touched a store.
+    gauges = data["gauges"]
+    stage_entries_prefix = "store/entries/"
+    for name, value in gauges.items():
+        if name.startswith(stage_entries_prefix):
+            stage = name[len(stage_entries_prefix):]
+            entry = artifact_stages.setdefault(stage, {"hits": 0, "misses": 0})
+            entry["entries"] = int(value)
     artifact_store = {
         "stages": artifact_stages,
         "load_status": data["annotations"].get("cache/load_status"),
         "path": data["annotations"].get("cache/path"),
     }
+    if "store/entries" in gauges:
+        artifact_store["entries"] = int(gauges["store/entries"])
+        artifact_store["evictions"] = int(gauges.get("store/evictions", 0))
+        artifact_store["approx_payload_bytes"] = int(
+            gauges.get("store/approx_payload_bytes", 0)
+        )
 
     manifest = {
         "schema_version": SCHEMA_VERSION,

@@ -13,6 +13,7 @@ from repro.runtime.store import (
     STAGE_CENSUS,
     STAGE_EMBED,
     STAGE_FEATURES,
+    STAGE_PARTITION,
     STAGE_WALKS,
     artifact_key,
     freeze_config,
@@ -31,4 +32,5 @@ __all__ = [
     "STAGE_WALKS",
     "STAGE_EMBED",
     "STAGE_FEATURES",
+    "STAGE_PARTITION",
 ]

@@ -86,6 +86,10 @@ class RunContext:
     n_jobs:
         Worker-process count; ``0``/``"auto"`` means all cores.  Stages
         resolve it through :meth:`resolved_n_jobs`.
+    partitions:
+        Shard count for the partitioned census (see :mod:`repro.dist`);
+        ``None`` keeps the single-shard root-fanning path.  Stages
+        resolve it through :meth:`resolved_partitions`.
     seed:
         Base RNG seed for stages that need one (embedding pipelines, the
         experiment drivers).
@@ -99,6 +103,7 @@ class RunContext:
 
     engine: str | None = None
     n_jobs: int | None = None
+    partitions: int | None = None
     seed: int | None = None
     store: "ArtifactStore | None" = None
     telemetry: Telemetry | None = field(default=None, repr=False)
@@ -139,6 +144,16 @@ class RunContext:
         spec = self.n_jobs if self.n_jobs is not None else default
         return resolve_n_jobs(spec)
 
+    def resolved_partitions(self, default: int | None = None) -> int | None:
+        """The census shard count, or ``default`` when unset (validated)."""
+        spec = self.partitions if self.partitions is not None else default
+        if spec is None:
+            return None
+        count = int(spec)
+        if count < 1:
+            raise ValueError(f"partitions must be >= 1, got {spec}")
+        return count
+
     def resolved_seed(self, default: int = 0) -> int:
         """The context seed, or ``default`` when unset."""
         return int(self.seed) if self.seed is not None else default
@@ -166,6 +181,8 @@ class RunContext:
             telemetry.annotate(f"{prefix}/engine", self.engine)
         if self.n_jobs is not None:
             telemetry.annotate(f"{prefix}/n_jobs", self.resolved_n_jobs())
+        if self.partitions is not None:
+            telemetry.annotate(f"{prefix}/partitions", self.resolved_partitions())
         if self.seed is not None:
             telemetry.annotate(f"{prefix}/seed", self.seed)
         if self.store is not None and self.store.path is not None:

@@ -52,6 +52,7 @@ STAGE_CENSUS = "census"
 STAGE_WALKS = "walks"
 STAGE_EMBED = "embed"
 STAGE_FEATURES = "features"
+STAGE_PARTITION = "partition"
 
 ArtifactKey = tuple[str, str, tuple]
 
@@ -222,6 +223,9 @@ class ArtifactStore:
         telemetry = get_telemetry()
         telemetry.count("cache/saves")
         telemetry.count("cache/save_entries", len(self._entries))
+        # Every persisted run gets store-wide stats in its manifest for
+        # free (entry counts per stage, evictions, payload size).
+        self.record_stats(telemetry)
         self._log.debug(
             "%s saved: %d entries -> %s",
             self.description,
@@ -280,6 +284,45 @@ class ArtifactStore:
             stages.setdefault(stage, {"hits": 0, "misses": 0, "entries": 0})
             stages[stage]["entries"] += 1
         return stages
+
+    def approx_payload_bytes(self) -> int:
+        """Approximate pickled size of all stored artifacts, in bytes.
+
+        Computed on demand (one pickle pass over the entries), not per
+        ``put`` — call it at manifest/save time, not in hot loops.
+        """
+        return sum(
+            len(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
+            for entry in self._entries.values()
+        )
+
+    def stats(self) -> dict:
+        """Store-wide summary: totals, per-stage breakdown, payload size."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "approx_payload_bytes": self.approx_payload_bytes(),
+            "stages": self.stage_stats(),
+        }
+
+    def record_stats(self, telemetry=None) -> dict:
+        """Record :meth:`stats` into the run telemetry (``store/*`` gauges).
+
+        The run manifest's ``artifact_store`` section reads exactly
+        these gauges, so partition-artifact reuse (and every other
+        stage's residency) is visible alongside census-cache hit rates.
+        Returns the recorded stats dict.
+        """
+        telemetry = telemetry if telemetry is not None else get_telemetry()
+        stats = self.stats()
+        telemetry.gauge("store/entries", stats["entries"])
+        telemetry.gauge("store/evictions", stats["evictions"])
+        telemetry.gauge("store/approx_payload_bytes", stats["approx_payload_bytes"])
+        for stage, entry in stats["stages"].items():
+            telemetry.gauge(f"store/entries/{stage}", entry["entries"])
+        return stats
 
     def stage_entries(self, stage: str) -> int:
         """Number of stored entries belonging to one stage."""

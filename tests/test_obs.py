@@ -240,6 +240,32 @@ class TestManifest:
         assert str(tmp_path / "g.json") in encoded
         assert manifest["config"]["years"] == [2014, 2015]
 
+    def test_artifact_store_section_merges_counters_and_gauges(self):
+        with fresh_telemetry() as t:
+            t.count("artifact/census/hits", 3)
+            t.count("artifact/census/misses", 1)
+            t.count("artifact/partition/misses", 1)
+            t.gauge("store/entries", 5)
+            t.gauge("store/evictions", 2)
+            t.gauge("store/approx_payload_bytes", 4096)
+            t.gauge("store/entries/census", 4)
+            t.gauge("store/entries/partition", 1)
+            manifest = build_manifest("census")
+        section = manifest["artifact_store"]
+        assert section["entries"] == 5
+        assert section["evictions"] == 2
+        assert section["approx_payload_bytes"] == 4096
+        census = section["stages"]["census"]
+        assert census["hits"] == 3
+        assert census["hit_rate"] == pytest.approx(0.75)
+        assert census["entries"] == 4
+        assert section["stages"]["partition"]["entries"] == 1
+
+    def test_artifact_store_section_without_store_has_no_totals(self):
+        with fresh_telemetry():
+            manifest = build_manifest("census")
+        assert "entries" not in manifest["artifact_store"]
+
     def test_write_manifest_roundtrip(self, tmp_path):
         target = tmp_path / "run.json"
         with fresh_telemetry() as t:

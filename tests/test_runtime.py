@@ -333,3 +333,39 @@ class TestStoreDrivenStages:
             ctx=ctx,
         )
         assert len(store) == 0
+
+
+class TestStoreStats:
+    def test_stats_summarise_entries_and_payload(self):
+        store = ArtifactStore(max_entries=2)
+        store.put(FP, "census", (1,), "x")
+        store.put(FP, "census", (2,), "y")
+        store.put(FP, "embed", (1,), "z")  # evicts the oldest census entry
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert stats["approx_payload_bytes"] > 0
+        assert stats["stages"]["census"]["entries"] == 1
+        assert stats["stages"]["embed"]["entries"] == 1
+
+    def test_record_stats_emits_store_gauges(self):
+        store = ArtifactStore()
+        store.put(FP, "census", (1,), "x")
+        store.put(FP, "partition", (1,), "p")
+        with fresh_telemetry() as telemetry:
+            store.record_stats(telemetry)
+            gauges = telemetry.as_dict()["gauges"]
+        assert gauges["store/entries"] == 2
+        assert gauges["store/evictions"] == 0
+        assert gauges["store/approx_payload_bytes"] > 0
+        assert gauges["store/entries/census"] == 1
+        assert gauges["store/entries/partition"] == 1
+
+    def test_save_records_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store.pkl")
+        store.put(FP, "features", (1,), [1, 2, 3])
+        with fresh_telemetry() as telemetry:
+            store.save()
+            gauges = telemetry.as_dict()["gauges"]
+        assert gauges["store/entries"] == 1
+        assert gauges["store/entries/features"] == 1
