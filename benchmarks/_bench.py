@@ -1,0 +1,66 @@
+"""Shared writer for the ``BENCH_*.json`` perf artefacts.
+
+Every ``test_perf_*`` bench records its workload, timings, and gate
+verdict through :func:`write_bench` so the artefacts stay structurally
+comparable across PRs: one schema version, one ``workload`` block
+describing what was measured, and one ``gate`` block recording whether
+the speedup gate was enforced — and, when it was waived (e.g. too few
+cores for a parallelism gate), the reason, so a green CI run never
+silently means "gate not checked".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Bump when the shared artefact layout changes shape (individual benches
+#: may add fields freely; removing or renaming shared ones bumps this).
+BENCH_SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_path(name: str) -> Path:
+    """Where ``BENCH_{name}.json`` lives: next to the repo root."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def gate_block(
+    min_speedup: float, *, applied: bool = True, waiver: str | None = None
+) -> dict:
+    """The gate record: threshold, whether it was enforced, and why not.
+
+    A waived gate MUST record its reason and an applied gate must not
+    carry one — the artefact is the audit trail for "did this PR's perf
+    claim actually get checked on this box".
+    """
+    if applied and waiver is not None:
+        raise ValueError("an applied gate cannot carry a waiver")
+    if not applied and waiver is None:
+        raise ValueError("a waived gate must record its reason")
+    return {
+        "min_speedup": float(min_speedup),
+        "applied": bool(applied),
+        "waiver": waiver,
+    }
+
+
+def write_bench(
+    name: str, *, workload: dict, results: dict, gate: dict | None = None
+) -> Path:
+    """Write ``BENCH_{name}.json`` and return the path.
+
+    ``results`` keys land at the top level of the payload (next to
+    ``workload``), preserving each bench's historical field names.
+    """
+    payload: dict = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": workload,
+    }
+    payload.update(results)
+    if gate is not None:
+        payload["gate"] = gate
+    path = bench_path(name)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

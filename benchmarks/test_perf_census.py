@@ -13,17 +13,16 @@ wrong answer is worthless.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _bench import bench_path, gate_block, write_bench
 from repro.core.census import CensusConfig, subgraph_census
 from repro.datasets import sample_nodes_per_label
 from repro.experiments.common import percentile_degree
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_census.json"
+RESULT_PATH = bench_path("census")
 
 #: The acceptance gate: aggregate fast-engine speedup on this workload.
 MIN_SPEEDUP = 3.0
@@ -67,8 +66,9 @@ def test_fast_engine_speedup(benchmark, mag_label_graph):
             subgraph_census(graph, node, config, engine="reference")
         )
 
-    payload = {
-        "workload": {
+    write_bench(
+        "census",
+        workload={
             "graph": "MAG label graph (3 years)",
             "num_nodes": graph.num_nodes,
             "num_roots": len(nodes),
@@ -77,11 +77,13 @@ def test_fast_engine_speedup(benchmark, mag_label_graph):
             "mask_start_label": True,
             "key": config.key,
         },
-        "fast": _summary(fast),
-        "reference": _summary(reference),
-        "speedup": speedup,
-    }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        results={
+            "fast": _summary(fast),
+            "reference": _summary(reference),
+            "speedup": speedup,
+        },
+        gate=gate_block(MIN_SPEEDUP),
+    )
 
     print()
     print(

@@ -22,17 +22,16 @@ skips the gate, and does not write the JSON artefact.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
+from _bench import bench_path, gate_block, write_bench
 from repro.core.census import CensusConfig, subgraph_census
 from repro.datasets import sample_nodes_per_label
 from repro.dist import PartitionConfig, partition_graph, subgraph_census_sharded
 from repro.experiments.common import percentile_degree
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_census_sharded.json"
+RESULT_PATH = bench_path("census_sharded")
 
 #: The acceptance gate: sharded wall-clock speedup at 4 partitions.
 MIN_SPEEDUP = 2.5
@@ -102,8 +101,9 @@ def test_sharded_census_speedup(benchmark, smoke, mag_label_graph):
         return
 
     stats = sharded.aggregate_stats()
-    payload = {
-        "workload": {
+    write_bench(
+        "census_sharded",
+        workload={
             "graph": "MAG label graph (3 years)",
             "num_nodes": graph.num_nodes,
             "num_roots": len(roots),
@@ -111,28 +111,29 @@ def test_sharded_census_speedup(benchmark, smoke, mag_label_graph):
             "d_max": dmax,
             "mask_start_label": True,
         },
-        "partitions": {
-            "count": NUM_PARTITIONS,
-            "strategy": sharded.config.strategy,
-            "halo_depth": sharded.halo_depth,
-            "halo_ratio": stats["halo_ratio"],
-            "max_partition_nodes": stats["max_partition_nodes"],
-            "partition_build_s": partition_build_s,
+        results={
+            "partitions": {
+                "count": NUM_PARTITIONS,
+                "strategy": sharded.config.strategy,
+                "halo_depth": sharded.halo_depth,
+                "halo_ratio": stats["halo_ratio"],
+                "max_partition_nodes": stats["max_partition_nodes"],
+                "partition_build_s": partition_build_s,
+            },
+            "single_shard_s": single_s,
+            "sharded_s": sharded_s,
+            "speedup": speedup,
+            "cpu_cores": cores,
         },
-        "single_shard_s": single_s,
-        "sharded_s": sharded_s,
-        "speedup": speedup,
-        "cpu_cores": cores,
-        "gate": {
-            "min_speedup": MIN_SPEEDUP,
-            "applied": gated,
-            "waiver": None
+        gate=gate_block(
+            MIN_SPEEDUP,
+            applied=gated,
+            waiver=None
             if gated
             else f"parallel gate needs >= {MIN_CORES_FOR_GATE} cores, "
             f"box has {cores}",
-        },
-    }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        ),
+    )
 
     if gated:
         assert speedup >= MIN_SPEEDUP, (

@@ -19,16 +19,15 @@ does not write the JSON artefact.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _bench import bench_path, gate_block, write_bench
 from repro.embeddings import DeepWalk, LINE, Node2Vec
 from repro.experiments.common import EmbeddingParams
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_embeddings.json"
+RESULT_PATH = bench_path("embeddings")
 
 #: The acceptance gate: aggregate fast-pipeline speedup on this workload.
 MIN_SPEEDUP = 3.0
@@ -116,8 +115,9 @@ def test_fast_pipeline_speedup(benchmark, mag_label_graph, smoke):
     if smoke:
         return
 
-    payload = {
-        "workload": {
+    write_bench(
+        "embeddings",
+        workload={
             "graph": "MAG label graph (3 years)",
             "num_nodes": graph.num_nodes,
             "num_edges": graph.num_edges,
@@ -129,13 +129,15 @@ def test_fast_pipeline_speedup(benchmark, mag_label_graph, smoke):
             "line_samples": params.line_samples,
             "node2vec_pq": [0.5, 2.0],
         },
-        "fast": {k: float(v) for k, v in fast.items()},
-        "reference": {k: float(v) for k, v in reference.items()},
-        "total_fast_s": float(total_fast),
-        "total_reference_s": float(total_reference),
-        "speedup": float(speedup),
-    }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        results={
+            "fast": {k: float(v) for k, v in fast.items()},
+            "reference": {k: float(v) for k, v in reference.items()},
+            "total_fast_s": float(total_fast),
+            "total_reference_s": float(total_reference),
+            "speedup": float(speedup),
+        },
+        gate=gate_block(MIN_SPEEDUP),
+    )
 
     assert speedup >= MIN_SPEEDUP, (
         f"fast pipeline speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate"

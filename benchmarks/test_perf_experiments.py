@@ -18,18 +18,17 @@ not write the JSON artefact.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import replace
-from pathlib import Path
 
+from _bench import bench_path, gate_block, write_bench
 from repro.datasets.mag import MagConfig, SyntheticMAG
 from repro.experiments.rank_prediction import (
     RankPredictionExperiment,
     RankTaskConfig,
 )
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_experiments.json"
+RESULT_PATH = bench_path("experiments")
 
 #: The acceptance gate: end-to-end fast-path speedup on this workload.
 MIN_SPEEDUP = 2.5
@@ -119,8 +118,9 @@ def test_experiment_pipeline_speedup(benchmark, smoke):
     if smoke:
         return
 
-    payload = {
-        "workload": {
+    write_bench(
+        "experiments",
+        workload={
             "world": "synthetic MAG, 30 institutions",
             "conferences": list(_task(mag, smoke).conferences),
             "families": list(FAMILIES),
@@ -129,14 +129,16 @@ def test_experiment_pipeline_speedup(benchmark, smoke):
             "forest_trees": _task(mag, smoke).forest_trees,
             "emax": _task(mag, smoke).emax,
         },
-        "fast": dict(FAST),
-        "baseline": dict(BASELINE),
-        "fast_s": float(fast_s),
-        "baseline_s": float(baseline_s),
-        "speedup": float(speedup),
-        "scores_identical": True,
-    }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        results={
+            "fast": dict(FAST),
+            "baseline": dict(BASELINE),
+            "fast_s": float(fast_s),
+            "baseline_s": float(baseline_s),
+            "speedup": float(speedup),
+            "scores_identical": True,
+        },
+        gate=gate_block(MIN_SPEEDUP),
+    )
 
     assert speedup >= MIN_SPEEDUP, (
         f"experiment pipeline speedup {speedup:.2f}x below the {MIN_SPEEDUP}x gate"

@@ -41,6 +41,7 @@ from pathlib import Path
 from repro.core import (
     CensusCache,
     CensusConfig,
+    SampledCensusConfig,
     SubgraphFeatureExtractor,
     code_to_string,
     describe_code,
@@ -57,7 +58,14 @@ from repro.obs import (
     get_telemetry,
     write_manifest,
 )
-from repro.runtime import ArtifactStore, Pipeline, RunContext
+from repro.runtime import (
+    ENGINE_SAMPLED,
+    EXACT_ENGINES,
+    VALID_ENGINES,
+    ArtifactStore,
+    Pipeline,
+    RunContext,
+)
 
 logger = get_logger(__name__)
 
@@ -77,6 +85,36 @@ def _census_config(args) -> CensusConfig:
         max_degree=args.dmax,
         mask_start_label=args.mask,
     )
+
+
+def _sampled_config(args) -> SampledCensusConfig | None:
+    """Estimator knobs for ``--engine sampled``; ``None`` for exact engines.
+
+    Giving a sampling flag with an exact engine is rejected rather than
+    silently ignored — the run would otherwise look budgeted but be exact.
+    """
+    engine = getattr(args, "engine", None)
+    given = [
+        flag
+        for flag, value in (
+            ("--sample-budget", getattr(args, "sample_budget", None)),
+            ("--sample-rel-err", getattr(args, "sample_rel_err", None)),
+        )
+        if value is not None
+    ]
+    if engine != ENGINE_SAMPLED:
+        if given:
+            raise SystemExit(
+                f"error: {', '.join(given)} requires --engine sampled "
+                f"(got --engine {engine})"
+            )
+        return None
+    kwargs = {"seed": getattr(args, "sample_seed", 0)}
+    if args.sample_budget is not None:
+        kwargs["budget"] = args.sample_budget
+    if args.sample_rel_err is not None:
+        kwargs["rel_err"] = args.sample_rel_err
+    return SampledCensusConfig(**kwargs)
 
 
 def _build_context(args) -> RunContext:
@@ -165,19 +203,23 @@ def cmd_census(args) -> int:
     with pipeline.stage("dataset"):
         graph = _load_graph(args.graph)
     config = _census_config(args)
-    extractor = SubgraphFeatureExtractor(config, ctx=ctx)
+    extractor = SubgraphFeatureExtractor(
+        config, sampled=_sampled_config(args), ctx=ctx
+    )
     with pipeline.stage("census"):
         counts = extractor.census_many(graph, [graph.index(args.root)])[0]
     _save_store(args, ctx)
     labelset = effective_labelset(graph, config)
     for code, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
-        line = f"{count}\t{code_to_string(code, labelset)}"
+        # Sampled censuses carry float estimates; exact engines stay ints.
+        shown = f"{count:g}" if isinstance(count, float) else str(count)
+        line = f"{shown}\t{code_to_string(code, labelset)}"
         if args.describe:
             line += f"\t{describe_code(code, labelset)}"
         print(line)
     logger.info(
-        "%d subgraphs in %d classes around %r",
-        sum(counts.values()),
+        "%s subgraphs in %d classes around %r",
+        f"{sum(counts.values()):g}",
         len(counts),
         args.root,
     )
@@ -194,7 +236,9 @@ def cmd_features(args) -> int:
     if not names:
         raise SystemExit("error: --nodes must list at least one node id")
     nodes = [graph.index(name) for name in names]
-    extractor = SubgraphFeatureExtractor(config, ctx=ctx)
+    extractor = SubgraphFeatureExtractor(
+        config, sampled=_sampled_config(args), ctx=ctx
+    )
     # The census stage runs inside fit_transform (and is skipped entirely
     # when the store already holds this feature matrix).
     with pipeline.stage("features"):
@@ -322,7 +366,11 @@ def cmd_rank(args) -> int:
         forest_trees=args.trees,
         seed=args.seed,
         layout=args.layout,
-        forest_engine=args.engine,
+        engine=args.engine,
+        sampled=_sampled_config(args),
+        # The forest has no sampled implementation; an approximate census
+        # still trains an exact (fast) forest.
+        forest_engine=args.engine if args.engine in EXACT_ENGINES else "fast",
         n_jobs=args.n_jobs,
     )
     ctx = _build_context(args)
@@ -371,6 +419,7 @@ def cmd_label(args) -> int:
         seed=args.seed,
         layout=args.layout,
         engine=args.engine,
+        sampled=_sampled_config(args),
         n_jobs=args.n_jobs,
     )
     experiment = LabelPredictionExperiment(graph, config, ctx=ctx)
@@ -456,11 +505,43 @@ def build_parser() -> argparse.ArgumentParser:
     common_args(p_conn, telemetry=False)
     p_conn.set_defaults(func=cmd_connectivity)
 
+    def sample_args(p):
+        p.add_argument(
+            "--sample-budget",
+            type=int,
+            default=None,
+            metavar="N",
+            help="probe draws per root for --engine sampled "
+            "(default: 2000; see docs/sampled_census.md)",
+        )
+        p.add_argument(
+            "--sample-seed",
+            type=int,
+            default=0,
+            help="rng seed for the sampled census estimator",
+        )
+        p.add_argument(
+            "--sample-rel-err",
+            type=float,
+            default=None,
+            metavar="EPS",
+            help="stop a root early once its CI half-width falls below "
+            "EPS x the total estimate",
+        )
+
     def census_args(p):
         p.add_argument("graph")
         p.add_argument("--emax", type=int, default=4, help="max subgraph edges")
         p.add_argument("--dmax", type=int, default=None, help="hub degree cut-off")
         p.add_argument("--mask", action="store_true", help="mask the start label")
+        p.add_argument(
+            "--engine",
+            choices=VALID_ENGINES,
+            default="fast",
+            help="census implementation (sampled = budgeted estimates "
+            "with confidence bounds)",
+        )
+        sample_args(p)
         p.add_argument(
             "--n-jobs",
             "--jobs",
@@ -496,7 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
     def pipeline_args(p):
         p.add_argument(
             "--engine",
-            choices=("fast", "reference"),
+            choices=EXACT_ENGINES,
             default="fast",
             help="embedding pipeline implementation",
         )
@@ -594,10 +675,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rank.add_argument(
         "--engine",
-        choices=("fast", "reference"),
+        choices=VALID_ENGINES,
         default="fast",
-        help="random forest implementation",
+        help="census + random forest implementation (sampled applies to "
+        "the census only; the forest stays fast)",
     )
+    sample_args(p_rank)
     p_rank.add_argument(
         "--n-jobs",
         "--jobs",
@@ -650,10 +733,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_label.add_argument(
         "--engine",
-        choices=("fast", "reference"),
+        choices=VALID_ENGINES,
         default="fast",
-        help="census/embedding pipeline implementation",
+        help="census/embedding pipeline implementation (sampled applies "
+        "to the census only; embeddings keep their default engine)",
     )
+    sample_args(p_label)
     p_label.add_argument(
         "--n-jobs",
         "--jobs",

@@ -30,6 +30,13 @@ from repro.core.isomorphism import (
     enumerate_connected_labelled_graphs,
 )
 from repro.core.labels import MASK_LABEL, LabelSet
+from repro.core.sampled import (
+    SampledCensus,
+    SampledCensusConfig,
+    SampledCensusReport,
+    run_sampled_census,
+    sampled_config_key,
+)
 from repro.core.stats import (
     DegreeSummary,
     degree_summary,
@@ -60,6 +67,9 @@ __all__ = [
     "MASK_LABEL",
     "RankedFeature",
     "RollingSubgraphHash",
+    "SampledCensus",
+    "SampledCensusConfig",
+    "SampledCensusReport",
     "SmallGraph",
     "SubgraphFeatureExtractor",
     "SubgraphFeatures",
@@ -77,6 +87,8 @@ __all__ = [
     "label_connectivity",
     "rank_features",
     "realize_code",
+    "run_sampled_census",
+    "sampled_config_key",
     "string_to_code",
     "subgraph_census",
     "validate_code",

@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import pickle  # noqa: F401  (re-exported: durability tests patch cache_module.pickle)
 from collections import Counter
+from dataclasses import replace
 from pathlib import Path
 
-from repro.core.census import CensusConfig
+from repro.core.census import CensusConfig, _cap_exceeded, census_total
 from repro.core.graph import HeteroGraph
+from repro.core.sampled import SampledCensusConfig, sampled_config_key
 from repro.obs.log import get_logger
 from repro.runtime.store import STAGE_CENSUS, ArtifactStore, artifact_key
 
@@ -42,15 +44,23 @@ CacheKey = tuple[str, tuple, int]
 logger = get_logger(__name__)
 
 
-def census_config_key(config: CensusConfig) -> tuple:
+def census_config_key(
+    config: CensusConfig, sampled: SampledCensusConfig | None = None
+) -> tuple:
     """Flatten a census config to the plain tuple used in cache keys.
 
     Flattening (rather than keying on the dataclass) keeps keys
     comparable across library versions that add config fields with
     defaults — and keeps a pickled cache independent of the
     ``CensusConfig`` class itself.
+
+    A sampled census keys on the estimator knobs too (budget, seed,
+    rel_err, ...) via a tuple *suffix*, so sampled estimates can never
+    collide with exact counts — nor with estimates under a different
+    budget or seed — while every exact key stays byte-identical to what
+    older stores hold.
     """
-    return (
+    key = (
         config.max_edges,
         config.max_degree,
         config.mask_start_label,
@@ -59,6 +69,9 @@ def census_config_key(config: CensusConfig) -> tuple:
         config.include_trivial,
         config.max_subgraphs,
     )
+    if sampled is not None:
+        key += sampled_config_key(sampled)
+    return key
 
 
 def census_cache_key(
@@ -68,9 +81,13 @@ def census_cache_key(
     return (graph.fingerprint(), census_config_key(config), int(root))
 
 
-def _store_config(config: CensusConfig, root: int) -> tuple:
+def _store_config(
+    config: CensusConfig,
+    root: int,
+    sampled: SampledCensusConfig | None = None,
+) -> tuple:
     """The artifact-store stage config for one rooted census."""
-    return (*census_config_key(config), int(root))
+    return (*census_config_key(config, sampled), int(root))
 
 
 class CensusCache:
@@ -151,12 +168,34 @@ class CensusCache:
 
     # -- memoisation ------------------------------------------------------
     def get(
-        self, graph: HeteroGraph, config: CensusConfig, root: int
+        self,
+        graph: HeteroGraph,
+        config: CensusConfig,
+        root: int,
+        sampled: SampledCensusConfig | None = None,
     ) -> Counter | None:
-        """The cached census for ``root``, or ``None`` on a miss."""
-        return self.store.get(
-            graph.fingerprint(), STAGE_CENSUS, _store_config(config, root)
+        """The cached census for ``root``, or ``None`` on a miss.
+
+        A capped exact request (``config.max_subgraphs`` set) that
+        misses also consults the *uncapped* entry for the same config:
+        a cached total at or under the cap is exactly what the capped
+        census would have produced, so it is served; a total over the
+        cap means the live census would have raised, so this raises the
+        same :class:`~repro.exceptions.CensusError` instead of serving
+        a result the caller asked to be protected from.
+        """
+        census = self.store.get(
+            graph.fingerprint(), STAGE_CENSUS, _store_config(config, root, sampled)
         )
+        cap = config.max_subgraphs
+        if census is None and cap is not None and sampled is None:
+            uncapped = replace(config, max_subgraphs=None)
+            census = self.store.get(
+                graph.fingerprint(), STAGE_CENSUS, _store_config(uncapped, root)
+            )
+            if census is not None and census_total(census) > cap:
+                raise _cap_exceeded(root, cap)
+        return census
 
     def put(
         self,
@@ -164,6 +203,7 @@ class CensusCache:
         config: CensusConfig,
         root: int,
         census: Counter,
+        sampled: SampledCensusConfig | None = None,
     ) -> None:
         """Store the census for ``root`` (overwrites any existing entry).
 
@@ -171,7 +211,10 @@ class CensusCache:
         beyond the bound evicts the oldest entries first (FIFO).
         """
         self.store.put(
-            graph.fingerprint(), STAGE_CENSUS, _store_config(config, root), census
+            graph.fingerprint(),
+            STAGE_CENSUS,
+            _store_config(config, root, sampled),
+            census,
         )
 
     def __len__(self) -> int:

@@ -29,7 +29,7 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Literal
+from typing import TYPE_CHECKING, Callable, Literal
 
 from repro.core.encoding import CanonicalCode, code_to_string
 from repro.core.graph import HeteroGraph
@@ -37,14 +37,19 @@ from repro.core.hashing import RollingSubgraphHash
 from repro.core.labels import LabelSet
 from repro.exceptions import CensusError
 from repro.obs.telemetry import get_telemetry
-from repro.runtime.context import RunContext
+from repro.runtime.context import ENGINE_SAMPLED, VALID_ENGINES, RunContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.sampled import SampledCensusConfig
 
 Edge = tuple[int, int]
 KeyMode = Literal["canonical", "string", "hash"]
-EngineMode = Literal["fast", "reference"]
+EngineMode = Literal["fast", "reference", "sampled"]
 
-#: Valid census engine names (checked through the shared runtime validator).
-ENGINES = ("fast", "reference")
+#: Valid census engine names — the census implements every engine the
+#: shared runtime registry knows about (``fast``/``reference`` exact,
+#: ``sampled`` approximate with confidence bounds).
+ENGINES = VALID_ENGINES
 
 
 @dataclass(frozen=True)
@@ -759,6 +764,8 @@ def subgraph_census(
     config: CensusConfig | None = None,
     *,
     engine: EngineMode | None = None,
+    sampled: "SampledCensusConfig | None" = None,
+    sample_root_key: int | None = None,
     ctx: RunContext | None = None,
 ) -> Counter:
     """Count rooted heterogeneous subgraphs around one node.
@@ -774,7 +781,19 @@ def subgraph_census(
     engine:
         ``"fast"`` (default) runs the incremental flat-adjacency engine;
         ``"reference"`` runs the straightforward implementation kept as
-        the parity oracle.  Both return bit-identical Counters.
+        the parity oracle (both return bit-identical Counters);
+        ``"sampled"`` runs the budgeted probe estimator of
+        :mod:`repro.core.sampled` and returns a
+        :class:`~repro.core.sampled.SampledCensus` of per-key float
+        estimates carrying a confidence report.
+    sampled:
+        Estimator knobs for ``engine="sampled"`` (budget, seed,
+        relative-error target); defaults to ``SampledCensusConfig()``.
+        Rejected for the exact engines.
+    sample_root_key:
+        Seed key for the per-root probe RNG (defaults to ``root``).  The
+        sharded driver passes the *global* node id here so estimates are
+        bit-identical at any partition count.
     ctx:
         Optional :class:`~repro.runtime.context.RunContext`; its engine
         applies when the ``engine`` keyword is not given explicitly.
@@ -783,7 +802,8 @@ def subgraph_census(
     -------
     Counter
         Maps subgraph keys (canonical codes, strings, or hash values,
-        depending on ``config.key``) to occurrence counts around ``root``.
+        depending on ``config.key``) to occurrence counts around ``root``
+        (exact ints, or float estimates from the sampled engine).
     """
     if config is None:
         config = CensusConfig()
@@ -794,13 +814,45 @@ def subgraph_census(
     engine = ctx.resolve_engine(
         ENGINES, default="fast", param="census engine", error=CensusError
     )
-    if engine == "fast":
-        counts = _FastCensusRun(graph, root, config).run()
+    telemetry = get_telemetry()
+    if engine == ENGINE_SAMPLED:
+        from repro.core.sampled import SampledCensusConfig, run_sampled_census
+
+        if sampled is None:
+            sampled = SampledCensusConfig()
+        counts = run_sampled_census(
+            graph, root, config, sampled, root_key=sample_root_key
+        )
+        report = counts.report
+        telemetry.count("census/sampled_roots")
+        telemetry.count("census/sampled_draws", report.draws)
+        # The straggler budget: the largest number of draws any single
+        # root spent this run (== budget unless early stops fired).
+        telemetry.gauge_max("census/sampled_draws_max", report.draws)
+        if report.early_stopped:
+            telemetry.count("census/sampled_early_stops")
+        elif sampled.rel_err is not None:
+            # Budget ran dry before the rel_err contract was met — the
+            # straggler roots a budget bump would help.
+            telemetry.count("census/sampled_budget_exhausted")
+        # ``timer`` doubles as a count/total/max stat aggregator here:
+        # the "seconds" are achieved CI half widths, not wall clock.
+        telemetry.timer("census/sampled_half_width", report.half_width)
+        telemetry.gauge_max(
+            "census/sampled_half_width_max", report.half_width
+        )
     else:
-        counts = _CensusRun(graph, root, config).run()
+        if sampled is not None:
+            raise CensusError(
+                "sampled= is only valid with engine='sampled', "
+                f"got engine={engine!r}"
+            )
+        if engine == "fast":
+            counts = _FastCensusRun(graph, root, config).run()
+        else:
+            counts = _CensusRun(graph, root, config).run()
     # Coarse per-call accounting only — the enumeration inner loop stays
     # untouched so the engine perf gates keep measuring real work.
-    telemetry = get_telemetry()
     telemetry.count("census/calls")
     telemetry.count("census/subgraphs", sum(counts.values()))
     return counts

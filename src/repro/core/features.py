@@ -25,10 +25,11 @@ import numpy as np
 from repro.core.cache import CensusCache, census_config_key
 from repro.core.census import CensusConfig, subgraph_census
 from repro.core.graph import HeteroGraph
+from repro.core.sampled import SampledCensusConfig
 from repro.core.sparse import CSRMatrix
 from repro.exceptions import FeatureError
 from repro.obs.telemetry import Telemetry, get_telemetry
-from repro.runtime.context import RunContext
+from repro.runtime.context import ENGINE_SAMPLED, RunContext
 from repro.runtime.store import STAGE_FEATURES, ArtifactStore
 
 
@@ -199,11 +200,15 @@ _WORKER_STATE: dict = {}
 
 
 def _init_census_worker(
-    graph: HeteroGraph, config: CensusConfig, engine: str | None = None
+    graph: HeteroGraph,
+    config: CensusConfig,
+    engine: str | None = None,
+    sampled: SampledCensusConfig | None = None,
 ) -> None:
     _WORKER_STATE["graph"] = graph
     _WORKER_STATE["config"] = config
     _WORKER_STATE["engine"] = engine
+    _WORKER_STATE["sampled"] = sampled
 
 
 def _census_chunk_worker(chunk: list[int]) -> tuple[list[Counter], dict]:
@@ -217,13 +222,16 @@ def _census_chunk_worker(chunk: list[int]) -> tuple[list[Counter], dict]:
     graph = _WORKER_STATE["graph"]
     config = _WORKER_STATE["config"]
     engine = _WORKER_STATE.get("engine")
+    sampled = _WORKER_STATE.get("sampled")
     telemetry = Telemetry()
     censuses = []
     with telemetry.span("census/chunk"):
         for root in chunk:
             with telemetry.span("census/root"):
                 censuses.append(
-                    subgraph_census(graph, root, config, engine=engine)
+                    subgraph_census(
+                        graph, root, config, engine=engine, sampled=sampled
+                    )
                 )
     return censuses, telemetry.snapshot()
 
@@ -252,6 +260,12 @@ class SubgraphFeatureExtractor:
         shards instead of fanning individual roots over the whole graph;
         results stay bit-identical.  ``None`` (default) keeps the
         root-fanning path.
+    sampled:
+        Estimator knobs for the sampled engine (budget, seed, rel_err).
+        Requires the context engine to resolve to ``"sampled"``;
+        conversely, ``engine="sampled"`` with no explicit knobs uses
+        ``SampledCensusConfig()``.  Estimates flow through the matrix
+        pipeline unchanged (float counts instead of ints).
     ctx:
         Optional :class:`~repro.runtime.context.RunContext`; supplies
         ``n_jobs``, ``partitions``, and the artifact store when the
@@ -266,6 +280,7 @@ class SubgraphFeatureExtractor:
         cache: "CensusCache | ArtifactStore | None" = None,
         *,
         partitions: int | None = None,
+        sampled: SampledCensusConfig | None = None,
         ctx: RunContext | None = None,
     ) -> None:
         if n_jobs is not None and n_jobs < 1:
@@ -283,6 +298,17 @@ class SubgraphFeatureExtractor:
         #: Census engine (None = the census default); threaded into every
         #: subgraph_census call, including pool workers.
         self.engine = ctx.engine
+        if sampled is not None and ctx.engine != ENGINE_SAMPLED:
+            raise FeatureError(
+                "sampled= requires engine='sampled', "
+                f"got engine={ctx.engine!r}"
+            )
+        if sampled is None and ctx.engine == ENGINE_SAMPLED:
+            sampled = SampledCensusConfig()
+        #: Sampled-estimator knobs (None unless the engine is "sampled");
+        #: part of every census cache key so estimates never collide with
+        #: exact counts.
+        self.sampled = sampled
 
     def census_many(
         self,
@@ -314,6 +340,7 @@ class SubgraphFeatureExtractor:
         """
         config = self.config
         cache = self.cache
+        sampled = self.sampled
         if partitions is None:
             partitions = self.partitions
         elif partitions < 1:
@@ -334,7 +361,7 @@ class SubgraphFeatureExtractor:
         if cache is not None:
             pending = []
             for node in positions:
-                hit = cache.get(graph, config, node)
+                hit = cache.get(graph, config, node, sampled)
                 if hit is None:
                     pending.append(node)
                 else:
@@ -366,6 +393,7 @@ class SubgraphFeatureExtractor:
                         config,
                         pset,
                         engine=self.engine,
+                        sampled=sampled,
                         n_jobs=self.n_jobs,
                     )
                 )
@@ -374,7 +402,11 @@ class SubgraphFeatureExtractor:
                     for node in pending:
                         with telemetry.span("census/root"):
                             computed[node] = subgraph_census(
-                                graph, node, config, engine=self.engine
+                                graph,
+                                node,
+                                config,
+                                engine=self.engine,
+                                sampled=sampled,
                             )
             else:
                 degrees = graph.flat().degrees
@@ -391,7 +423,7 @@ class SubgraphFeatureExtractor:
                 with ProcessPoolExecutor(
                     max_workers=self.n_jobs,
                     initializer=_init_census_worker,
-                    initargs=(graph, config, self.engine),
+                    initargs=(graph, config, self.engine, sampled),
                 ) as pool:
                     for chunk, (censuses, snapshot) in zip(
                         chunks, pool.map(_census_chunk_worker, chunks)
@@ -401,14 +433,15 @@ class SubgraphFeatureExtractor:
                         telemetry.merge(snapshot)
             if cache is not None:
                 for node in pending:
-                    cache.put(graph, config, node, computed[node])
+                    cache.put(graph, config, node, computed[node], sampled)
         for node, node_positions in positions.items():
             census = computed[node]
             results[node_positions[0]] = census
             for pos in node_positions[1:]:
                 # Fan out copies so callers mutating one row cannot
-                # corrupt its duplicates.
-                results[pos] = Counter(census)
+                # corrupt its duplicates (copy() rather than Counter():
+                # a SampledCensus copy keeps its confidence report).
+                results[pos] = census.copy()
         return results
 
     def fit_transform(
@@ -425,7 +458,11 @@ class SubgraphFeatureExtractor:
         store = self.ctx.store
         feature_config = None
         if store is not None:
-            feature_config = (*census_config_key(self.config), layout, node_tuple)
+            feature_config = (
+                *census_config_key(self.config, self.sampled),
+                layout,
+                node_tuple,
+            )
             cached = store.get(graph.fingerprint(), STAGE_FEATURES, feature_config)
             if cached is not None:
                 return cached

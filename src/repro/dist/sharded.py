@@ -29,6 +29,7 @@ from typing import Sequence
 
 from repro.core.census import CensusConfig, subgraph_census
 from repro.core.graph import HeteroGraph
+from repro.core.sampled import SampledCensusConfig
 from repro.dist.partition import (
     GraphPartition,
     PartitionConfig,
@@ -71,8 +72,15 @@ def _census_partition(
     config: CensusConfig,
     engine: str | None,
     telemetry: Telemetry,
+    sampled: SampledCensusConfig | None = None,
 ) -> dict:
-    """Census the owned ``roots`` (global ids) against one shard."""
+    """Census the owned ``roots`` (global ids) against one shard.
+
+    Sampled censuses seed their probe RNG from the *global* root id
+    (``sample_root_key``), not the shard-local index — local indices
+    depend on the partition count, and the determinism contract promises
+    bit-identical estimates at any ``k``.
+    """
     results: dict = {}
     part_graph = partition.graph
     with telemetry.span("dist/partition_wall") as span:
@@ -81,7 +89,12 @@ def _census_partition(
             with telemetry.span("census/root"):
                 try:
                     results[root] = subgraph_census(
-                        part_graph, local, config, engine=engine
+                        part_graph,
+                        local,
+                        config,
+                        engine=engine,
+                        sampled=sampled,
+                        sample_root_key=root,
                     )
                 except CensusError as exc:
                     # Shard-local node ids are meaningless to the caller:
@@ -101,10 +114,13 @@ def _partition_census_worker(
     roots: list,
     config: CensusConfig,
     engine: str | None,
+    sampled: SampledCensusConfig | None = None,
 ) -> tuple[dict, dict]:
     """Pool task: census one shard's roots, ship results + telemetry."""
     telemetry = Telemetry()
-    results = _census_partition(partition, roots, config, engine, telemetry)
+    results = _census_partition(
+        partition, roots, config, engine, telemetry, sampled
+    )
     return results, telemetry.snapshot()
 
 
@@ -115,6 +131,7 @@ def sharded_census_map(
     partitions: PartitionSet,
     *,
     engine: str | None = None,
+    sampled: SampledCensusConfig | None = None,
     n_jobs: int = 1,
 ) -> dict:
     """Census unique global ``roots`` through the shards; return a dict.
@@ -145,7 +162,7 @@ def sharded_census_map(
         for partition, owned_roots in tasks:
             results.update(
                 _census_partition(
-                    partition, owned_roots, config, engine, telemetry
+                    partition, owned_roots, config, engine, telemetry, sampled
                 )
             )
     else:
@@ -157,6 +174,7 @@ def sharded_census_map(
                     owned_roots,
                     config,
                     engine,
+                    sampled,
                 )
                 for partition, owned_roots in tasks
             ]
@@ -174,6 +192,7 @@ def subgraph_census_sharded(
     *,
     partitions: "int | PartitionConfig | PartitionSet",
     engine: str | None = None,
+    sampled: SampledCensusConfig | None = None,
     n_jobs: int | None = None,
     ctx: RunContext | None = None,
 ) -> list[Counter]:
@@ -194,6 +213,11 @@ def subgraph_census_sharded(
         or a prebuilt :class:`~repro.dist.partition.PartitionSet`.
     engine:
         Census engine each worker runs (default: the census default).
+    sampled:
+        Estimator knobs for ``engine="sampled"``; the per-root budget
+        rides into each shard task unchanged and the probe RNG seeds
+        from global root ids, so estimates are bit-identical at any
+        partition count.
     n_jobs:
         Worker processes for the shard fan-out (``0``/``None`` = all
         cores via the context).
@@ -233,6 +257,7 @@ def subgraph_census_sharded(
         config,
         pset,
         engine=ctx.engine,
+        sampled=sampled,
         n_jobs=ctx.resolved_n_jobs(default=1),
     )
     results: list = [None] * len(nodes)
@@ -240,5 +265,7 @@ def subgraph_census_sharded(
         census = computed[node]
         results[node_positions[0]] = census
         for pos in node_positions[1:]:
-            results[pos] = Counter(census)
+            # copy() rather than Counter(): a SampledCensus copy keeps
+            # its confidence report.
+            results[pos] = census.copy()
     return results

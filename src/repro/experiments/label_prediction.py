@@ -26,6 +26,7 @@ from repro.core.census import CensusConfig
 from repro.core.features import FeatureSpace, SubgraphFeatureExtractor
 from repro.core.graph import HeteroGraph
 from repro.core.labels import LabelSet
+from repro.core.sampled import SampledCensusConfig
 from repro.datasets.load import sample_nodes_per_label
 from repro.experiments.common import (
     EMBEDDING_METHODS,
@@ -37,7 +38,7 @@ from repro.ml import StandardScaler, macro_f1, train_test_split, tune_regulariza
 from repro.ml.forest import resolve_n_jobs
 from repro.ml.preprocessing import log1p_counts
 from repro.obs.telemetry import fresh_telemetry, get_telemetry
-from repro.runtime.context import RunContext
+from repro.runtime.context import EXACT_ENGINES, RunContext
 
 FEATURE_TYPES = ("subgraph", *EMBEDDING_METHODS)
 
@@ -105,10 +106,16 @@ class LabelTaskConfig:
     seed: int = 0
     #: Matrix layout for the subgraph count features ("dense" or "sparse").
     layout: str = "dense"
-    #: Census/embedding implementation ("fast" or "reference") — the label
-    #: pipeline has no forest, so its engine choice selects the feature
-    #: extraction pipelines (CLI parity with ``repro rank --engine``).
+    #: Census/embedding implementation ("fast"/"reference" exact, or
+    #: "sampled" for an approximate census) — the label pipeline has no
+    #: forest, so its engine choice selects the feature extraction
+    #: pipelines (CLI parity with ``repro rank --engine``).  Embeddings
+    #: have no sampled path, so ``"sampled"`` applies to the census only
+    #: and the embedding pipelines keep their default engine.
     engine: str = "fast"
+    #: Estimator knobs when ``engine="sampled"`` (budget, seed, rel_err);
+    #: ``None`` with the sampled engine uses ``SampledCensusConfig()``.
+    sampled: SampledCensusConfig | None = None
     #: Worker processes for the training sweep's per-feature fan-out;
     #: split seeds are pre-drawn so any count matches ``n_jobs=1``.
     n_jobs: int | None = 1
@@ -182,9 +189,20 @@ class LabelPredictionExperiment:
         self.ctx = RunContext.ensure(ctx)
         # Feature stages take the config's engine and the context's store
         # (plus the census shard count); n_jobs stays with the sweep
-        # fan-out, not the extractors.
-        self._stage_ctx = RunContext(
+        # fan-out, not the extractors.  The census gets the configured
+        # engine verbatim; the embedding pipelines only implement the
+        # exact engines, so "sampled" leaves them on their default.
+        self._census_ctx = RunContext(
             engine=self.config.engine,
+            partitions=self.ctx.partitions,
+            store=self.ctx.store,
+        )
+        self._stage_ctx = RunContext(
+            engine=(
+                self.config.engine
+                if self.config.engine in EXACT_ENGINES
+                else None
+            ),
             partitions=self.ctx.partitions,
             store=self.ctx.store,
         )
@@ -226,7 +244,9 @@ class LabelPredictionExperiment:
             mask_start_label=True,
             max_subgraphs=max_subgraphs,
         )
-        extractor = SubgraphFeatureExtractor(census_config, ctx=self._stage_ctx)
+        extractor = SubgraphFeatureExtractor(
+            census_config, sampled=cfg.sampled, ctx=self._census_ctx
+        )
         with get_telemetry().span("phase/label_features_subgraph"):
             censuses = extractor.census_many(graph, self.nodes)
             space = FeatureSpace().fit(censuses)

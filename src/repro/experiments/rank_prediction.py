@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.census import CensusConfig
 from repro.core.features import FeatureSpace, SubgraphFeatureExtractor
+from repro.core.sampled import SampledCensusConfig
 from repro.core.sparse import CSRMatrix
 from repro.datasets.mag import SyntheticMAG
 from repro.experiments.classic_features import ClassicFeatureExtractor
@@ -111,6 +112,13 @@ class RankTaskConfig:
     #: zeros of the heavy-tailed subgraph vocabulary until the model
     #: boundary densifies.
     layout: str = "dense"
+    #: Census engine for the subgraph family ("fast"/"reference" exact,
+    #: "sampled" approximate).  Classic and embedding families are
+    #: unaffected.
+    engine: str = "fast"
+    #: Estimator knobs when ``engine="sampled"`` (budget, seed, rel_err);
+    #: ``None`` with the sampled engine uses ``SampledCensusConfig()``.
+    sampled: SampledCensusConfig | None = None
     #: Forest fitting engine ("fast" batched or per-node "reference").
     forest_engine: str = "fast"
     #: Worker processes.  With several conferences the grid runner fans
@@ -218,7 +226,13 @@ class RankPredictionExperiment:
     ) -> tuple[dict[int, np.ndarray], FeatureSpace]:
         cfg = self.config
         census_config = CensusConfig(max_edges=cfg.emax, max_degree=cfg.dmax)
-        extractor = SubgraphFeatureExtractor(census_config, ctx=self._stage_ctx)
+        # The census engine comes from the experiment config (the stage
+        # context stays engine-free so embeddings keep their own default).
+        extractor = SubgraphFeatureExtractor(
+            census_config,
+            sampled=cfg.sampled,
+            ctx=replace(self._stage_ctx, engine=cfg.engine),
+        )
         censuses_by_year: dict[int, list] = {}
         for year in self._feature_years():
             graph = self._graph(conference, year - 1)

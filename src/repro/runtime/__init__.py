@@ -6,7 +6,16 @@ policy), :mod:`repro.runtime.store` (content-addressed cross-stage
 caching), and :mod:`repro.runtime.pipeline` (declared CLI stages).
 """
 
-from repro.runtime.context import RunContext, resolve_engine, resolve_n_jobs
+from repro.runtime.context import (
+    ENGINE_FAST,
+    ENGINE_REFERENCE,
+    ENGINE_SAMPLED,
+    EXACT_ENGINES,
+    VALID_ENGINES,
+    RunContext,
+    resolve_engine,
+    resolve_n_jobs,
+)
 from repro.runtime.pipeline import Pipeline, STAGES
 from repro.runtime.store import (
     ArtifactStore,
@@ -23,6 +32,11 @@ __all__ = [
     "RunContext",
     "resolve_engine",
     "resolve_n_jobs",
+    "ENGINE_FAST",
+    "ENGINE_REFERENCE",
+    "ENGINE_SAMPLED",
+    "EXACT_ENGINES",
+    "VALID_ENGINES",
     "Pipeline",
     "STAGES",
     "ArtifactStore",

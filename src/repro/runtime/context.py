@@ -32,6 +32,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.runtime.store import ArtifactStore
 
 
+#: The engine registry — the single source of truth for engine names.
+#: Every ``--engine`` choice list and every ``resolve_engine`` call site
+#: derives from these constants instead of repeating string literals.
+ENGINE_FAST = "fast"
+ENGINE_REFERENCE = "reference"
+ENGINE_SAMPLED = "sampled"
+
+#: Engines that produce bit-identical exact results (interchangeable for
+#: cache keys and any stage without a sampled implementation).
+EXACT_ENGINES = (ENGINE_FAST, ENGINE_REFERENCE)
+
+#: Every engine the library knows about.  Only the census implements
+#: ``"sampled"``; stages without an approximate path validate against
+#: :data:`EXACT_ENGINES`.
+VALID_ENGINES = (ENGINE_FAST, ENGINE_REFERENCE, ENGINE_SAMPLED)
+
+
 def resolve_engine(
     name: str,
     choices: Sequence[str],
