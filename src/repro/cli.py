@@ -11,6 +11,7 @@ Exposes the library's day-to-day operations on serialised graphs::
     python -m repro runtime graph.json --roots 25
     python -m repro rank --conferences KDD --families classic,subgraph
     python -m repro label graph.json --per-label 16
+    python -m repro serve graph.json --socket /tmp/repro.sock
 
 Graphs load from the labelled edge-list format (``.hel``, see
 :mod:`repro.io.edgelist`) or the JSON format (anything else).
@@ -444,6 +445,71 @@ def cmd_label(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        FeatureService,
+        ReplayConfig,
+        ServeConfig,
+        ServeDaemon,
+        generate_trace,
+        serve_and_replay,
+    )
+
+    ctx = _build_context(args)
+    pipeline = Pipeline("serve", ctx)
+    with pipeline.stage("dataset"):
+        graph = _load_graph(args.graph)
+    config = ServeConfig(
+        emax=args.emax,
+        dmax=args.dmax,
+        engine=args.engine,
+        n_jobs=args.n_jobs,
+        top_k=args.top_k,
+    )
+    service = FeatureService(graph, config, store=ctx.store)
+    if args.warm:
+        with get_telemetry().span("phase/serve_warm"):
+            warmed = service.warm()
+        logger.info("warmed %d roots", warmed)
+    daemon = ServeDaemon(
+        service,
+        args.socket,
+        request_timeout=args.request_timeout,
+        max_inflight=args.max_inflight,
+    )
+    if args.replay is not None:
+        # Self-contained benchmark mode: serve, fire a generated trace at
+        # ourselves, report, exit.
+        replay_config = ReplayConfig(
+            requests=args.replay,
+            connections=args.connections,
+            write_fraction=args.write_fraction,
+            seed=args.seed,
+        )
+        trace = generate_trace(service.graph, replay_config)
+        with get_telemetry().span("phase/serve_replay"):
+            report = asyncio.run(
+                serve_and_replay(
+                    daemon, trace, connections=replay_config.connections
+                )
+            )
+        _save_store(args, ctx)
+        print(report.summary())
+        return 0
+    try:
+        asyncio.run(daemon.run())
+    except KeyboardInterrupt:
+        logger.info("interrupted; shutting down")
+    _save_store(args, ctx)
+    print(
+        f"served {daemon.requests} requests "
+        f"({daemon.shed_requests} shed, {daemon.timeouts} timeouts)"
+    )
+    return 0
+
+
 def cmd_collisions(args) -> int:
     report = find_collisions(
         num_labels=args.labels,
@@ -758,6 +824,81 @@ def build_parser() -> argparse.ArgumentParser:
     store_args(p_label)
     common_args(p_label)
     p_label.set_defaults(func=cmd_label)
+
+    p_serve = sub.add_parser(
+        "serve", help="feature-serving daemon with incremental census repair"
+    )
+    p_serve.add_argument("graph")
+    p_serve.add_argument(
+        "--socket",
+        required=True,
+        metavar="PATH",
+        help="unix domain socket to listen on (see docs/serving.md)",
+    )
+    p_serve.add_argument("--emax", type=int, default=4, help="max subgraph edges")
+    p_serve.add_argument("--dmax", type=int, default=None, help="hub degree cut-off")
+    p_serve.add_argument(
+        "--engine",
+        choices=EXACT_ENGINES,
+        default="fast",
+        help="census implementation (exact engines only: incremental "
+        "repair must be bit-identical to a cold recompute)",
+    )
+    p_serve.add_argument(
+        "--n-jobs",
+        "--jobs",
+        dest="n_jobs",
+        type=int,
+        default=1,
+        help="worker processes for warm-up and repair censuses",
+    )
+    p_serve.add_argument(
+        "--top-k", type=int, default=10, help="default result size for rank queries"
+    )
+    p_serve.add_argument(
+        "--warm",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="precompute every root's census before accepting connections",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request deadline before a typed timeout error",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="concurrent requests before shedding with the overloaded error",
+    )
+    p_serve.add_argument(
+        "--replay",
+        type=int,
+        default=None,
+        metavar="N",
+        help="benchmark mode: serve, fire N generated requests at the "
+        "daemon, print the latency report, and exit",
+    )
+    p_serve.add_argument(
+        "--connections",
+        type=int,
+        default=8,
+        help="client connections in --replay mode",
+    )
+    p_serve.add_argument(
+        "--write-fraction",
+        type=float,
+        default=0.1,
+        help="edge-mutation share of the --replay trace",
+    )
+    p_serve.add_argument("--seed", type=int, default=0, help="rng seed for --replay")
+    store_args(p_serve)
+    common_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_coll = sub.add_parser("collisions", help="enumerate encoding collisions")
     p_coll.add_argument("--labels", type=int, default=2)

@@ -20,7 +20,7 @@ from repro.core.features import (
     SubgraphFeatureExtractor,
     SubgraphFeatures,
 )
-from repro.core.graph import FlatAdjacency, HeteroGraph
+from repro.core.graph import FlatAdjacency, HeteroGraph, MutableHeteroGraph
 from repro.core.sparse import CSRMatrix
 from repro.core.hashing import RollingSubgraphHash
 from repro.core.interpret import RankedFeature, describe_code, rank_features, realize_code
@@ -65,6 +65,7 @@ __all__ = [
     "LabelConnectivity",
     "LabelSet",
     "MASK_LABEL",
+    "MutableHeteroGraph",
     "RankedFeature",
     "RollingSubgraphHash",
     "SampledCensus",

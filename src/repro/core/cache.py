@@ -90,6 +90,21 @@ def _store_config(
     return (*census_config_key(config, sampled), int(root))
 
 
+def census_store_config(
+    config: CensusConfig,
+    root: int,
+    sampled: SampledCensusConfig | None = None,
+) -> tuple:
+    """Public alias of the census artifact-store stage config.
+
+    The serving daemon's repair path addresses census entries directly on
+    the raw :class:`ArtifactStore` (to migrate unaffected roots between
+    graph fingerprints without recomputing them); this keeps the key
+    derivation in one place.
+    """
+    return _store_config(config, root, sampled)
+
+
 class CensusCache:
     """The census-stage view of an :class:`ArtifactStore`.
 

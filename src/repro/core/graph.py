@@ -16,6 +16,13 @@ Design notes
 * The structure is immutable after construction.  The census shares one
   graph across worker processes/threads, mirroring the paper's observation
   that the edge list can be shared because it is never modified.
+* :class:`MutableHeteroGraph` is the one sanctioned exception: the serving
+  daemon's write path (``repro serve``) applies edge insertions/deletions
+  through it.  Mutations replace adjacency rows rather than editing them in
+  place — any previously shared row (e.g. pickled into a worker) stays
+  valid — and every mutation invalidates the derived ``flat()``/
+  ``fingerprint()`` caches so a stale snapshot or content hash is never
+  served for a changed graph.
 """
 
 from __future__ import annotations
@@ -106,6 +113,17 @@ class HeteroGraph:
         self._adjacency = adjacency
         self._label_starts = label_starts
         self._num_edges = num_edges
+        self._invalidate_derived()
+
+    def _invalidate_derived(self) -> None:
+        """Drop the lazily built caches that depend on the structure.
+
+        ``flat()`` and ``fingerprint()`` are pure functions of the labelled
+        adjacency; anything that changes the adjacency (only
+        :class:`MutableHeteroGraph` does) must call this so neither a stale
+        snapshot nor — worse — a stale content hash aliasing ArtifactStore
+        keys across graph versions can ever be observed.
+        """
         self._flat = None
         self._fingerprint = None
 
@@ -472,4 +490,106 @@ class HeteroGraph:
         return (
             f"HeteroGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
             f"labels={list(self._labelset.names)!r})"
+        )
+
+
+class MutableHeteroGraph(HeteroGraph):
+    """A :class:`HeteroGraph` overlay accepting edge insertions/deletions.
+
+    Built for the serving daemon's write path: the node set and label
+    alphabet stay fixed, but edges may be added and removed one at a time.
+    Each mutation
+
+    * keeps every adjacency list sorted by (label, index) — the census
+      engines' invariant — by replacing the two touched rows (never editing
+      an array in place, so rows shared with an immutable source graph or a
+      pickled worker copy remain valid), and
+    * calls :meth:`HeteroGraph._invalidate_derived` so the ``flat()``
+      snapshot and the content ``fingerprint()`` are rebuilt on next use.
+
+    Mutation methods take *external* node ids (the protocol currency) and
+    return the internal ``(u, v)`` index pair they resolved to.
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def from_graph(cls, graph: HeteroGraph) -> "MutableHeteroGraph":
+        """A mutable overlay sharing ``graph``'s current rows (copy-on-write)."""
+        return cls(
+            graph._labelset,
+            graph._ids,
+            graph._labels,
+            list(graph._adjacency),
+            list(graph._label_starts),
+            graph._num_edges,
+        )
+
+    def snapshot(self) -> HeteroGraph:
+        """An immutable copy of the current state (rows shared, never edited)."""
+        return HeteroGraph(
+            self._labelset,
+            self._ids,
+            self._labels,
+            list(self._adjacency),
+            list(self._label_starts),
+            self._num_edges,
+        )
+
+    def _insert_neighbor(self, u: int, v: int) -> None:
+        starts = self._label_starts[u]
+        label = self.label_of(v)
+        run = self._adjacency[u][starts[label]: starts[label + 1]]
+        pos = int(starts[label]) + int(np.searchsorted(run, v))
+        self._adjacency[u] = np.insert(self._adjacency[u], pos, v)
+        new_starts = starts.copy()
+        new_starts[label + 1:] += 1
+        self._label_starts[u] = new_starts
+
+    def _delete_neighbor(self, u: int, v: int) -> None:
+        starts = self._label_starts[u]
+        label = self.label_of(v)
+        run = self._adjacency[u][starts[label]: starts[label + 1]]
+        pos = int(starts[label]) + int(np.searchsorted(run, v))
+        self._adjacency[u] = np.delete(self._adjacency[u], pos)
+        new_starts = starts.copy()
+        new_starts[label + 1:] -= 1
+        self._label_starts[u] = new_starts
+
+    def add_edge(self, u_id: NodeId, v_id: NodeId) -> tuple[int, int]:
+        """Insert the undirected edge ``(u_id, v_id)``.
+
+        Raises :class:`~repro.exceptions.GraphError` on self loops,
+        unknown nodes, or an edge that already exists.
+        """
+        if u_id == v_id:
+            raise GraphError(f"self loop on node {u_id!r} is not allowed")
+        u, v = self.index(u_id), self.index(v_id)
+        if self.has_edge(u, v):
+            raise GraphError(f"duplicate edge ({u_id!r}, {v_id!r})")
+        self._insert_neighbor(u, v)
+        self._insert_neighbor(v, u)
+        self._num_edges += 1
+        self._invalidate_derived()
+        return u, v
+
+    def remove_edge(self, u_id: NodeId, v_id: NodeId) -> tuple[int, int]:
+        """Delete the undirected edge ``(u_id, v_id)``.
+
+        Raises :class:`~repro.exceptions.GraphError` when the nodes are
+        unknown or the edge does not exist.
+        """
+        u, v = self.index(u_id), self.index(v_id)
+        if u == v or not self.has_edge(u, v):
+            raise GraphError(f"no such edge ({u_id!r}, {v_id!r})")
+        self._delete_neighbor(u, v)
+        self._delete_neighbor(v, u)
+        self._num_edges -= 1
+        self._invalidate_derived()
+        return u, v
+
+    def __repr__(self) -> str:
+        return (
+            f"MutableHeteroGraph(nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, labels={list(self._labelset.names)!r})"
         )

@@ -6,6 +6,7 @@ See ``docs/observability.md`` for the model and the manifest schema.
 from repro.obs.log import add_logging_args, configure_logging, get_logger
 from repro.obs.manifest import build_manifest, peak_rss_kb, write_manifest
 from repro.obs.telemetry import (
+    Distribution,
     Telemetry,
     TimerStat,
     fresh_telemetry,
@@ -13,6 +14,7 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "Distribution",
     "Telemetry",
     "TimerStat",
     "add_logging_args",

@@ -159,6 +159,10 @@ def build_manifest(
         "counters": counters,
         "timers": data["timers"],
         "gauges": data["gauges"],
+        # Latency-style histograms recorded via Telemetry.observe(); each
+        # entry carries count/mean/min/max and p50/p90/p99 estimates (the
+        # serving daemon's ``serve/latency_s`` lands here).
+        "distributions": data.get("distributions", {}),
         "peak_rss_kb": peak_rss_kb(),
     }
     if extra:

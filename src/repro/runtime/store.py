@@ -25,7 +25,17 @@ Durability semantics are inherited unchanged from the census cache:
 * a file that fails to load (corrupt bytes, old format version) is
   reported through ``logging`` and :attr:`ArtifactStore.load_status`
   instead of silently looking like an empty store;
-* optional FIFO eviction bounds the entry count across *all* stages.
+* optional LRU eviction bounds the entry count across *all* stages,
+  with per-stage protected floors so a flood of cheap entries cannot
+  evict the expensive, tiny artifacts of another stage.
+
+The store is thread-safe: every dict mutation and every snapshot taken
+for persistence/stats happens under one re-entrant lock, so the serving
+daemon's concurrent readers and writers (see :mod:`repro.serve`) share
+one store without torn reads or lost updates.  Stored values are never
+mutated in place (both :meth:`ArtifactStore.get` and
+:meth:`ArtifactStore.put` copy), so payload copying can safely happen
+outside the lock.
 """
 
 from __future__ import annotations
@@ -34,6 +44,8 @@ import copy
 import os
 import pickle
 import tempfile
+import threading
+from collections import Counter
 from pathlib import Path
 from typing import Mapping
 
@@ -53,6 +65,15 @@ STAGE_WALKS = "walks"
 STAGE_EMBED = "embed"
 STAGE_FEATURES = "features"
 STAGE_PARTITION = "partition"
+
+#: Default per-stage eviction floors: the last N entries of these stages
+#: are never evicted to make room for another stage's flood.  Partition
+#: sets and embedding matrices are exactly the "expensive to rebuild,
+#: few in number" artifacts a census burst used to wash out.
+DEFAULT_STAGE_FLOORS: Mapping[str, int] = {
+    STAGE_PARTITION: 4,
+    STAGE_EMBED: 4,
+}
 
 ArtifactKey = tuple[str, str, tuple]
 
@@ -86,13 +107,18 @@ def artifact_key(fingerprint: str, stage: str, config) -> ArtifactKey:
 def _copy_artifact(value):
     """Defensive copy so callers mutating a hit cannot corrupt later hits.
 
-    ``numpy`` arrays get a C-level ``.copy()``; everything else (Counters,
-    tuples of arrays, dataclasses of plain data) goes through
-    :func:`copy.deepcopy`.
+    ``numpy`` arrays get a C-level ``.copy()`` and ``Counter`` values (the
+    census artifact — by far the hottest lookup in the serving path) get a
+    shallow ``.copy()``, which is exact because their keys and counts are
+    immutable and which preserves ``SampledCensus`` subclasses along with
+    their confidence reports; everything else (tuples of arrays,
+    dataclasses of plain data) goes through :func:`copy.deepcopy`.
     """
     copier = getattr(value, "copy", None)
     if copier is not None and type(value).__module__ == "numpy":
         return copier()
+    if isinstance(value, Counter):
+        return value.copy()
     return copy.deepcopy(value)
 
 
@@ -109,8 +135,18 @@ class ArtifactStore:
         ``"loaded"``, ``"corrupt"``, or ``"version-mismatch"``.
     max_entries:
         Optional bound on the number of retained entries across all
-        stages; inserting beyond it evicts the oldest entries (FIFO).
-        ``None`` (default) never evicts.
+        stages; inserting beyond it evicts the least-recently-used
+        entries (every :meth:`get` hit and :meth:`put` overwrite
+        refreshes an entry's recency).  ``None`` (default) never evicts.
+    stage_floors:
+        Per-stage protected floors for eviction: an entry is skipped by
+        the eviction scan whenever removing it would drop its stage's
+        entry count to below (or at) the floor, so e.g. a flood of
+        census entries can never push out the last few ``partition`` or
+        ``embed`` artifacts.  Defaults to :data:`DEFAULT_STAGE_FLOORS`;
+        pass ``{}`` to disable protection.  When nothing is evictable
+        the store temporarily overflows ``max_entries`` rather than
+        dropping a protected artifact.
     description:
         Human name used in log messages (``"artifact store"`` by default;
         the census-cache shim passes ``"census cache"``).
@@ -129,6 +165,7 @@ class ArtifactStore:
         path: str | Path | None = None,
         max_entries: int | None = None,
         *,
+        stage_floors: Mapping[str, int] | None = None,
         description: str = "artifact store",
         log=None,
     ) -> None:
@@ -136,9 +173,17 @@ class ArtifactStore:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.path = Path(path) if path is not None else None
         self.max_entries = max_entries
+        self.stage_floors = dict(
+            DEFAULT_STAGE_FLOORS if stage_floors is None else stage_floors
+        )
         self.description = description
         self._log = log if log is not None else logger
+        # One re-entrant lock guards _entries, _stage_counts, and the
+        # hit/miss/eviction tallies; re-entrant because locked methods
+        # (save, stats) call other locked methods.
+        self._lock = threading.RLock()
         self._entries: dict[ArtifactKey, object] = {}
+        self._stage_counts: Counter = Counter()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -180,7 +225,11 @@ class ArtifactStore:
             and payload.get("version") == _FORMAT_VERSION
             and isinstance(payload.get("entries"), dict)
         ):
-            self._entries.update(payload["entries"])
+            with self._lock:
+                self._entries.update(payload["entries"])
+                self._stage_counts = Counter(
+                    stage for _fp, stage, _cfg in self._entries
+                )
             self.load_status = "loaded"
             telemetry.count("cache/loads")
             telemetry.count("cache/load_entries", len(payload["entries"]))
@@ -211,7 +260,12 @@ class ArtifactStore:
             raise ValueError(
                 f"{self.description} has no path; pass one to save()"
             )
-        payload = {"version": _FORMAT_VERSION, "entries": self._entries}
+        # Snapshot under the lock, pickle outside it: entries are never
+        # mutated in place (only replaced), so the shallow copy is a
+        # consistent point-in-time view even while other threads write.
+        with self._lock:
+            entries = dict(self._entries)
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
         fd, tmp_name = tempfile.mkstemp(
             dir=target.parent or Path("."), prefix=f"{target.name}.", suffix=".tmp"
         )
@@ -222,68 +276,140 @@ class ArtifactStore:
         os.replace(tmp_name, target)
         telemetry = get_telemetry()
         telemetry.count("cache/saves")
-        telemetry.count("cache/save_entries", len(self._entries))
+        telemetry.count("cache/save_entries", len(entries))
         # Every persisted run gets store-wide stats in its manifest for
         # free (entry counts per stage, evictions, payload size).
         self.record_stats(telemetry)
         self._log.debug(
             "%s saved: %d entries -> %s",
             self.description,
-            len(self._entries),
+            len(entries),
             target,
         )
         return target
 
     # -- memoisation ------------------------------------------------------
     def get(self, fingerprint: str, stage: str, config):
-        """The stored artifact for the address, or ``None`` on a miss."""
+        """The stored artifact for the address, or ``None`` on a miss.
+
+        A hit refreshes the entry's recency (touch-on-get), so LRU
+        eviction spares working-set entries that are read repeatedly.
+        """
         key = artifact_key(fingerprint, stage, config)
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                self.misses += 1
+                self.stage_misses[stage] = self.stage_misses.get(stage, 0) + 1
+            else:
+                # Reinsert at the newest position: dicts iterate in
+                # insertion order, so the eviction scan sees true LRU.
+                self._entries[key] = entry
+                self.hits += 1
+                self.stage_hits[stage] = self.stage_hits.get(stage, 0) + 1
         if entry is None:
-            self.misses += 1
-            self.stage_misses[stage] = self.stage_misses.get(stage, 0) + 1
             get_telemetry().count(f"artifact/{stage}/misses")
             return None
-        self.hits += 1
-        self.stage_hits[stage] = self.stage_hits.get(stage, 0) + 1
         get_telemetry().count(f"artifact/{stage}/hits")
+        # Copy outside the lock: stored values are only ever replaced,
+        # never mutated, so the reference stays consistent.
         return _copy_artifact(entry)
+
+    def _evict_locked(self) -> int:
+        """Evict LRU entries to fit ``max_entries``; honours stage floors.
+
+        Caller holds the lock, has already counted the incoming entry in
+        ``_stage_counts``, and inserts it after this returns.  Entries
+        are scanned oldest-first; one whose removal would leave its
+        stage with fewer than its floor's worth of entries is skipped.
+        Returns the number of evictions (0 when everything left is
+        protected — the store then overflows rather than dropping a
+        protected artifact).
+        """
+        overshoot = len(self._entries) - self.max_entries + 1
+        if overshoot <= 0:
+            return 0
+        floors = self.stage_floors
+        victims: list[ArtifactKey] = []
+        if floors:
+            # Track how many entries each stage would retain as victims
+            # accumulate, so a floor cannot be breached by evicting two
+            # entries of one protected stage in a single scan.
+            remaining = Counter(self._stage_counts)
+            for key in self._entries:
+                stage = key[1]
+                if remaining[stage] - 1 < floors.get(stage, 0):
+                    continue
+                remaining[stage] -= 1
+                victims.append(key)
+                if len(victims) == overshoot:
+                    break
+        else:
+            victims = [
+                key
+                for key, _ in zip(self._entries, range(overshoot))
+            ]
+        for key in victims:
+            del self._entries[key]
+            self._stage_counts[key[1]] -= 1
+        self.evictions += len(victims)
+        return len(victims)
 
     def put(self, fingerprint: str, stage: str, config, value) -> None:
         """Store an artifact (overwrites any existing entry at the address).
 
         When ``max_entries`` is set, inserting a novel key beyond the
-        bound evicts the oldest entries first (dict insertion order),
-        regardless of which stage they belong to.
+        bound evicts the least-recently-used entries first, skipping
+        entries protected by a stage floor (see the constructor docs).
+        An overwrite also refreshes the entry's recency.
         """
         key = artifact_key(fingerprint, stage, config)
-        if (
-            self.max_entries is not None
-            and key not in self._entries
-            and len(self._entries) >= self.max_entries
-        ):
-            evicted = 0
-            while len(self._entries) >= self.max_entries:
-                self._entries.pop(next(iter(self._entries)))
-                evicted += 1
-            self.evictions += evicted
+        stored = _copy_artifact(value)
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                # Refresh recency on overwrite; never triggers eviction.
+                del self._entries[key]
+            else:
+                self._stage_counts[stage] += 1
+                if self.max_entries is not None:
+                    evicted = self._evict_locked()
+            self._entries[key] = stored
+        if evicted:
             get_telemetry().count("cache/evictions", evicted)
-        self._entries[key] = _copy_artifact(value)
+
+    def discard(self, fingerprint: str, stage: str, config) -> bool:
+        """Drop the entry at the address, if present; returns whether it was.
+
+        Used by the serving daemon's repair path to retire entries keyed
+        under a superseded graph fingerprint after migrating them; a
+        discard is not an eviction (it counts in neither tally).
+        """
+        key = artifact_key(fingerprint, stage, config)
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._stage_counts[stage] -= 1
+            return True
 
     # -- introspection ----------------------------------------------------
     def stage_stats(self) -> dict[str, dict[str, int]]:
         """Per-stage ``{"hits": ..., "misses": ..., "entries": ...}`` view."""
-        stages: dict[str, dict[str, int]] = {}
-        for name in set(self.stage_hits) | set(self.stage_misses):
-            stages[name] = {
-                "hits": self.stage_hits.get(name, 0),
-                "misses": self.stage_misses.get(name, 0),
-                "entries": 0,
-            }
-        for _fp, stage, _cfg in self._entries:
-            stages.setdefault(stage, {"hits": 0, "misses": 0, "entries": 0})
-            stages[stage]["entries"] += 1
-        return stages
+        with self._lock:
+            stages: dict[str, dict[str, int]] = {}
+            for name in set(self.stage_hits) | set(self.stage_misses):
+                stages[name] = {
+                    "hits": self.stage_hits.get(name, 0),
+                    "misses": self.stage_misses.get(name, 0),
+                    "entries": 0,
+                }
+            for stage, count in self._stage_counts.items():
+                if not count:
+                    continue
+                stages.setdefault(stage, {"hits": 0, "misses": 0, "entries": 0})
+                stages[stage]["entries"] = count
+            return stages
 
     def approx_payload_bytes(self) -> int:
         """Approximate pickled size of all stored artifacts, in bytes.
@@ -291,21 +417,25 @@ class ArtifactStore:
         Computed on demand (one pickle pass over the entries), not per
         ``put`` — call it at manifest/save time, not in hot loops.
         """
+        with self._lock:
+            entries = list(self._entries.values())
         return sum(
             len(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
-            for entry in self._entries.values()
+            for entry in entries
         )
 
     def stats(self) -> dict:
         """Store-wide summary: totals, per-stage breakdown, payload size."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "approx_payload_bytes": self.approx_payload_bytes(),
-            "stages": self.stage_stats(),
-        }
+        with self._lock:
+            head = {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+        head["approx_payload_bytes"] = self.approx_payload_bytes()
+        head["stages"] = self.stage_stats()
+        return head
 
     def record_stats(self, telemetry=None) -> dict:
         """Record :meth:`stats` into the run telemetry (``store/*`` gauges).
@@ -326,21 +456,26 @@ class ArtifactStore:
 
     def stage_entries(self, stage: str) -> int:
         """Number of stored entries belonging to one stage."""
-        return sum(1 for _fp, entry_stage, _cfg in self._entries if entry_stage == stage)
+        with self._lock:
+            return int(self._stage_counts.get(stage, 0))
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: ArtifactKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.stage_hits.clear()
-        self.stage_misses.clear()
+        with self._lock:
+            self._entries.clear()
+            self._stage_counts.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.stage_hits.clear()
+            self.stage_misses.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

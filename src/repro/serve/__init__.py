@@ -1,0 +1,52 @@
+"""Feature-serving daemon with incremental census maintenance.
+
+``repro serve`` turns the batch reproduction into a long-lived service:
+an asyncio unix-socket daemon answering ``features``/``rank``/``label``/
+``stats`` queries out of an :class:`~repro.runtime.store.ArtifactStore`
+warm tier, with an ``add_edge``/``remove_edge`` write path that repairs
+only the rooted censuses whose d_max-ball touches the mutated edge —
+bit-identical to a cold recompute.  See ``docs/serving.md``.
+"""
+
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import (
+    ERROR_CODES,
+    READ_OPS,
+    VALID_OPS,
+    WRITE_OPS,
+    ServeError,
+    decode_request,
+    error_response,
+    ok_response,
+)
+from repro.serve.repair import repair_ball
+from repro.serve.replay import (
+    ReplayConfig,
+    ReplayReport,
+    generate_trace,
+    replay,
+    run_in_process,
+    serve_and_replay,
+)
+from repro.serve.service import FeatureService, ServeConfig
+
+__all__ = [
+    "ERROR_CODES",
+    "FeatureService",
+    "READ_OPS",
+    "ReplayConfig",
+    "ReplayReport",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "VALID_OPS",
+    "WRITE_OPS",
+    "decode_request",
+    "error_response",
+    "generate_trace",
+    "ok_response",
+    "repair_ball",
+    "replay",
+    "run_in_process",
+    "serve_and_replay",
+]

@@ -1,0 +1,319 @@
+"""Asyncio line-protocol daemon wrapping a :class:`FeatureService`.
+
+One event loop accepts unix-socket connections and reads newline-framed
+JSON requests (:mod:`repro.serve.protocol`).  Handlers execute in a
+thread pool so the census work of one request never stalls the loop, and
+a writer-preferring async reader/writer lock serialises mutations against
+reads: any number of read requests run concurrently, while an
+``add_edge``/``remove_edge`` waits for in-flight reads to drain, then
+runs alone — so no read ever observes a half-mutated graph or a census
+keyed under a superseded fingerprint.
+
+Graceful degradation, in order of application:
+
+* **Shedding** — when ``max_inflight`` requests are already executing,
+  new ones are answered immediately with the typed ``overloaded`` error
+  (counted as ``serve/shed_requests``) instead of queueing without bound.
+* **Timeouts** — a request that exceeds ``request_timeout`` is answered
+  with the ``timeout`` error, but its worker thread cannot be killed:
+  the daemon keeps the request's lock slot held until the orphaned
+  thread actually finishes (a background drain task releases it), so a
+  timed-out mutation can never overlap with subsequent requests.
+* **Shutdown** — the ``shutdown`` op acknowledges, then stops accepting
+  and wakes :meth:`ServeDaemon.run` to close the server.
+
+Every request's wall clock lands in the ``serve/latency_s`` telemetry
+distribution (p50/p99 in the run manifest) plus ``serve/requests`` /
+``serve/errors`` counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.exceptions import GraphError
+from repro.obs.log import get_logger
+from repro.obs.telemetry import get_telemetry
+from repro.serve.protocol import (
+    CONTROL_OPS,
+    VALID_OPS,
+    WRITE_OPS,
+    ServeError,
+    decode_request,
+    error_response,
+    ok_response,
+)
+from repro.serve.service import FeatureService
+
+logger = get_logger(__name__)
+
+#: Upper bound on one request line (1 MiB) — protects the reader from
+#: an unframed stream.
+MAX_LINE_BYTES = 1 << 20
+
+
+class _RWLock:
+    """Writer-preferring reader/writer lock for one asyncio loop.
+
+    Readers share; a waiting writer blocks new readers so mutations are
+    not starved under sustained read load.  Not thread-safe — acquire
+    and release only from loop coroutines (worker threads never touch
+    it; the loop holds slots on their behalf, including past a timeout).
+    """
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    async def acquire_read(self) -> None:
+        async with self._cond:
+            while self._writer or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    async def acquire_write(self) -> None:
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class ServeDaemon:
+    """Serve a :class:`FeatureService` over a unix domain socket."""
+
+    def __init__(
+        self,
+        service: FeatureService,
+        socket_path: str | Path,
+        *,
+        request_timeout: float = 30.0,
+        max_inflight: int = 64,
+        workers: int | None = None,
+    ) -> None:
+        if request_timeout <= 0:
+            raise ValueError(f"request_timeout must be > 0, got {request_timeout}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self.request_timeout = float(request_timeout)
+        self.max_inflight = int(max_inflight)
+        self._workers = workers
+        self._inflight = 0
+        self._lock: _RWLock | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._stop: asyncio.Event | None = None
+        self._drains: set[asyncio.Task] = set()
+        self.requests = 0
+        self.shed_requests = 0
+        self.timeouts = 0
+
+    # -- lifecycle --------------------------------------------------------
+    async def run(self, ready: asyncio.Event | None = None) -> None:
+        """Accept connections until :meth:`stop` (or a ``shutdown`` op).
+
+        ``ready`` (if given) is set once the socket is listening —
+        orchestrators start their clients on it.
+        """
+        self._lock = _RWLock()
+        self._stop = asyncio.Event()
+        # Threads beyond the shed limit would only ever idle.
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers or min(32, self.max_inflight),
+            thread_name_prefix="repro-serve",
+        )
+        # Pre-register degradation counters so run manifests always carry
+        # them, even for runs that never shed or timed out.
+        telemetry = get_telemetry()
+        telemetry.count("serve/shed_requests", 0)
+        telemetry.count("serve/timeouts", 0)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(self.socket_path), limit=MAX_LINE_BYTES
+        )
+        logger.info("serving on %s", self.socket_path)
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Let timed-out stragglers finish before tearing down.
+            for drain in list(self._drains):
+                await drain
+            self._executor.shutdown(wait=True)
+            if self.socket_path.exists():
+                self.socket_path.unlink()
+            logger.info(
+                "stopped after %d requests (%d shed, %d timeouts)",
+                self.requests,
+                self.shed_requests,
+                self.timeouts,
+            )
+
+    def stop(self) -> None:
+        """Wake :meth:`run` to close the server (idempotent)."""
+        if self._stop is not None:
+            self._stop.set()
+
+    # -- request handling -------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionResetError):
+                    # Oversized line or peer reset: drop the connection.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                writer.write(response)
+                try:
+                    await writer.drain()
+                except ConnectionResetError:
+                    break
+        except asyncio.CancelledError:
+            # Loop teardown cancelled this handler (connection still open
+            # at shutdown).  Complete normally: a handler task that ends
+            # cancelled makes 3.11's streams connection callback log a
+            # spurious error traceback.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - close handshake already torn down
+                pass
+
+    async def _handle_line(self, line: bytes) -> bytes:
+        telemetry = get_telemetry()
+        started = time.perf_counter()
+        request_id = None
+        try:
+            request = decode_request(line)
+            request_id = request.get("id")
+            op = request["op"]
+            if op not in VALID_OPS:
+                raise ServeError("unknown_op", f"unknown op {op!r}")
+            if op in CONTROL_OPS:
+                self.stop()
+                response = ok_response(request_id, {"stopping": True})
+            elif self._stop is not None and self._stop.is_set():
+                raise ServeError("shutting_down", "daemon is draining")
+            elif self._inflight >= self.max_inflight:
+                self.shed_requests += 1
+                telemetry.count("serve/shed_requests")
+                raise ServeError(
+                    "overloaded",
+                    f"{self._inflight} requests in flight "
+                    f"(max {self.max_inflight}); retry later",
+                )
+            else:
+                result = await self._execute(request, write=op in WRITE_OPS)
+                response = ok_response(request_id, result)
+        except ServeError as exc:
+            telemetry.count("serve/errors")
+            telemetry.count(f"serve/errors/{exc.code}")
+            response = error_response(request_id, exc.code, exc.message)
+        except GraphError as exc:
+            telemetry.count("serve/errors")
+            telemetry.count("serve/errors/graph_error")
+            response = error_response(request_id, "graph_error", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("internal error handling request")
+            telemetry.count("serve/errors")
+            telemetry.count("serve/errors/internal")
+            response = error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        self.requests += 1
+        telemetry.count("serve/requests")
+        telemetry.observe("serve/latency_s", time.perf_counter() - started)
+        return response
+
+    async def _execute(self, request: dict, *, write: bool) -> dict:
+        """Run one service call in the thread pool under the proper lock.
+
+        On timeout the future is shielded (the thread keeps running) and
+        a drain task holds the lock slot until it finishes, so a
+        straggling handler can never overlap a later mutation.
+        """
+        loop = asyncio.get_running_loop()
+        lock = self._lock
+        if write:
+            await lock.acquire_write()
+        else:
+            await lock.acquire_read()
+        self._inflight += 1
+        future = loop.run_in_executor(
+            self._executor, self.service.handle, request
+        )
+        handed_off = False
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            # Hand this request's inflight slot and lock side to a drain
+            # task that waits out the still-running worker thread.
+            handed_off = True
+            self.timeouts += 1
+            get_telemetry().count("serve/timeouts")
+            drain = asyncio.ensure_future(self._drain(future, write))
+            self._drains.add(drain)
+            drain.add_done_callback(self._drains.discard)
+            raise ServeError(
+                "timeout",
+                f"request exceeded {self.request_timeout:g}s "
+                f"(op {request.get('op')!r})",
+            )
+        finally:
+            if not handed_off:
+                self._inflight -= 1
+                if write:
+                    await lock.release_write()
+                else:
+                    await lock.release_read()
+
+    async def _drain(self, future: asyncio.Future, write: bool) -> None:
+        try:
+            await future
+        except Exception:  # noqa: BLE001 - the client already got a timeout
+            logger.debug("timed-out request failed after deadline", exc_info=True)
+        finally:
+            self._inflight -= 1
+            if write:
+                await self._lock.release_write()
+            else:
+                await self._lock.release_read()

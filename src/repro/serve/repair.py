@@ -1,0 +1,73 @@
+"""Repair-scope computation for incremental census maintenance.
+
+When an edge ``(u, v)`` is inserted or deleted, only the rooted censuses
+whose enumeration can *reach* the mutation need recomputing.  This module
+computes that set — the mutation's d_max-pruned ball — so the serving
+daemon repairs a handful of roots instead of recomputing the graph.
+
+Why the ball is correct (``docs/serving.md`` carries the long form):
+
+* **Edge inclusion.**  A rooted subgraph has at most ``e_max`` edges and
+  is connected, so if it contains both the root ``r`` and the edge
+  ``(u, v)``, a path from ``r`` to the nearer endpoint exists that either
+  uses the mutated edge (reaching the other endpoint one hop earlier) or
+  leaves it off-path (at most ``e_max - 1`` path edges remain).  Either
+  way ``dist(r, {u, v}) <= e_max - 1``.
+* **Hub flips.**  The mutation changes only ``deg(u)`` and ``deg(v)``,
+  which can flip their d_max hub status and thereby change censuses that
+  *expand* u or v.  A node expanded by a census appears with subgraph
+  degree >= 2 (or is the root itself), and any such node sits within
+  ``e_max - 1`` of the root, so the same radius covers degree effects.
+* **Pruning.**  An interior node ``w`` (not u or v) whose degree exceeds
+  ``d_max`` is never expanded by any census in either graph version, so
+  no enumeration path crosses it: the BFS adds it (hubs are still valid
+  *roots* — the root is exempt from d_max) but does not expand it.  The
+  endpoints u and v themselves are always expanded: their hub status may
+  be exactly what the mutation flipped, and roots behind them are
+  affected by that flip.
+
+The ball must be computed on the graph version that **contains** the
+edge — after an insertion, before a deletion — since that is the version
+in which censuses can traverse it.
+"""
+
+from __future__ import annotations
+
+from repro.core.census import CensusConfig
+from repro.core.graph import HeteroGraph
+
+
+def repair_ball(
+    graph: HeteroGraph, u: int, v: int, config: CensusConfig
+) -> set[int]:
+    """Root indices whose census may change when edge ``(u, v)`` flips.
+
+    ``graph`` must be the version containing the edge.  Returns a set of
+    internal node indices; every root outside it is provably unaffected
+    (its census is bit-identical before and after the mutation).
+    """
+    depth = max(int(config.max_edges) - 1, 0)
+    dmax = config.max_degree
+    affected = {u, v}
+    frontier = [u, v]
+    for _level in range(depth):
+        next_frontier: list[int] = []
+        for node in frontier:
+            if (
+                dmax is not None
+                and node != u
+                and node != v
+                and graph.degree(node) > dmax
+            ):
+                # Hub interior node: affected as a root (already in the
+                # set) but never expanded by any census — stop here.
+                continue
+            for neighbor in graph.neighbors(node):
+                neighbor = int(neighbor)
+                if neighbor not in affected:
+                    affected.add(neighbor)
+                    next_frontier.append(neighbor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return affected

@@ -202,3 +202,101 @@ class TestComponents:
     def test_isolated_nodes_are_singletons(self):
         g = HeteroGraph.from_edges({"a": "A", "b": "B"}, [])
         assert len(g.connected_components()) == 2
+
+
+class TestMutableHeteroGraph:
+    def _graph(self):
+        from repro.core.graph import MutableHeteroGraph
+
+        base = HeteroGraph.from_edges(
+            {"a": "A", "b": "B", "c": "C", "d": "A"},
+            [("a", "b"), ("b", "c"), ("c", "d")],
+        )
+        return base, MutableHeteroGraph.from_graph(base)
+
+    def test_from_graph_leaves_source_untouched(self):
+        base, mutable = self._graph()
+        fp = base.fingerprint()
+        mutable.add_edge("a", "c")
+        assert base.num_edges == 3
+        assert not base.has_edge(base.index("a"), base.index("c"))
+        assert base.fingerprint() == fp
+
+    def test_no_stale_flat_after_mutation(self):
+        # The regression this guards: flat() and fingerprint() are
+        # cached, and a mutation must invalidate both — a stale flat
+        # adjacency would hand the census a pre-mutation graph.
+        _, mutable = self._graph()
+        flat_before = mutable.flat()
+        fp_before = mutable.fingerprint()
+        mutable.add_edge("a", "c")
+        flat_after = mutable.flat()
+        fp_after = mutable.fingerprint()
+        assert fp_after != fp_before
+        assert flat_after is not flat_before
+        assert len(flat_after.neighbors) == len(flat_before.neighbors) + 2
+        mutable.remove_edge("a", "c")
+        assert mutable.fingerprint() == fp_before
+
+    def test_add_remove_round_trip_is_identity(self):
+        base, mutable = self._graph()
+        mutable.add_edge("a", "d")
+        mutable.remove_edge("a", "d")
+        assert mutable.num_edges == base.num_edges
+        for node in range(base.num_nodes):
+            assert np.array_equal(mutable.neighbors(node), base.neighbors(node))
+            for label in range(len(base.labelset)):
+                assert np.array_equal(
+                    mutable.neighbors_with_label(node, label),
+                    base.neighbors_with_label(node, label),
+                )
+
+    def test_neighbor_runs_stay_label_sorted(self):
+        _, mutable = self._graph()
+        mutable.add_edge("a", "c")
+        mutable.add_edge("a", "d")
+        a = mutable.index("a")
+        neighbors = mutable.neighbors(a)
+        labels = [int(mutable.labels[v]) for v in neighbors]
+        assert labels == sorted(labels)
+        for label in range(len(mutable.labelset)):
+            run = mutable.neighbors_with_label(a, label)
+            assert np.array_equal(run, np.sort(run))
+
+    def test_validation_errors(self):
+        _, mutable = self._graph()
+        with pytest.raises(GraphError):
+            mutable.add_edge("a", "a")  # self loop
+        with pytest.raises(GraphError):
+            mutable.add_edge("a", "b")  # duplicate
+        with pytest.raises(GraphError):
+            mutable.add_edge("a", "nope")  # unknown node
+        with pytest.raises(GraphError):
+            mutable.remove_edge("a", "c")  # no such edge
+        with pytest.raises(GraphError):
+            mutable.remove_edge("a", "a")
+
+    def test_snapshot_is_immutable_copy(self):
+        from repro.core.graph import MutableHeteroGraph
+
+        _, mutable = self._graph()
+        mutable.add_edge("a", "c")
+        frozen = mutable.snapshot()
+        assert type(frozen) is HeteroGraph
+        assert frozen.fingerprint() == mutable.fingerprint()
+        mutable.remove_edge("a", "c")
+        assert frozen.has_edge(frozen.index("a"), frozen.index("c"))
+        assert isinstance(mutable, MutableHeteroGraph)
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        from repro.core.graph import MutableHeteroGraph
+
+        _, mutable = self._graph()
+        mutable.add_edge("a", "c")
+        clone = pickle.loads(pickle.dumps(mutable))
+        assert type(clone) is MutableHeteroGraph
+        assert clone.fingerprint() == mutable.fingerprint()
+        clone.add_edge("a", "d")  # still mutable after the round trip
+        assert clone.num_edges == mutable.num_edges + 1

@@ -283,3 +283,144 @@ class TestManifest:
     def test_peak_rss_positive_on_posix(self):
         peak = peak_rss_kb()
         assert peak is None or peak > 0
+
+
+class TestDistribution:
+    def test_quantile_accuracy_within_bucket_error(self):
+        from repro.obs import Distribution
+
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(mean=-5.0, sigma=1.5, size=5000)
+        dist = Distribution()
+        for value in values:
+            dist.add(float(value))
+        for q in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = dist.quantile(q)
+            # Bucket growth 2**(1/8) bounds relative error at ~4.5%;
+            # allow double for nearest-rank wobble at the tail.
+            assert abs(estimate - exact) / exact < 0.09, (q, estimate, exact)
+        assert dist.count == 5000
+        assert dist.mean == pytest.approx(float(values.mean()))
+        assert dist.quantile(0.0) == pytest.approx(float(values.min()))
+        assert dist.quantile(1.0) == pytest.approx(
+            float(values.max()), rel=0.05
+        )
+
+    def test_zero_and_empty(self):
+        from repro.obs import Distribution
+
+        dist = Distribution()
+        assert dist.quantile(0.5) == 0.0
+        assert dist.mean == 0.0
+        dist.add(0.0)
+        assert dist.quantile(0.5) == 0.0  # underflow bucket reports min
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_merge_equals_single_stream(self):
+        from repro.obs import Distribution
+
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        values = rng.exponential(scale=0.01, size=2000)
+        merged = Distribution()
+        combined = Distribution()
+        half = Distribution()
+        for value in values[:1000]:
+            combined.add(float(value))
+            merged.add(float(value))
+        for value in values[1000:]:
+            half.add(float(value))
+            merged.add(float(value))
+        combined.merge(*half.state())
+        assert combined.count == merged.count
+        assert combined.total == pytest.approx(merged.total)
+        assert combined.min == merged.min
+        assert combined.max == merged.max
+        assert combined.buckets == merged.buckets
+        for q in (0.5, 0.99):
+            assert combined.quantile(q) == merged.quantile(q)
+
+    def test_observe_snapshot_merge_round_trip(self):
+        t = Telemetry()
+        for value in (0.001, 0.002, 0.004, 0.1):
+            t.observe("serve/latency_s", value)
+        snapshot = pickle.loads(pickle.dumps(t.snapshot()))
+        other = Telemetry()
+        other.observe("serve/latency_s", 0.5)
+        other.merge(snapshot)
+        dist = other.distributions["serve/latency_s"]
+        assert dist.count == 5
+        assert dist.max == pytest.approx(0.5)
+        payload = other.as_dict()["distributions"]["serve/latency_s"]
+        assert payload["count"] == 5
+        assert payload["p99"] > 0
+
+    def test_manifest_carries_distributions(self, tmp_path):
+        from repro.obs.telemetry import fresh_telemetry as _fresh
+
+        with _fresh() as t:
+            t.observe("serve/latency_s", 0.002)
+            t.observe("serve/latency_s", 0.050)
+            manifest = build_manifest("serve", config={})
+        dist = manifest["distributions"]["serve/latency_s"]
+        assert dist["count"] == 2
+        assert set(dist) >= {"count", "mean", "min", "max", "p50", "p90", "p99"}
+
+    def test_reset_clears_distributions(self):
+        t = Telemetry()
+        t.observe("x", 1.0)
+        t.reset()
+        assert t.distributions == {}
+
+
+class TestSpanAsyncioInterleaving:
+    def test_interleaved_spans_attribute_elapsed_correctly(self):
+        # The serving daemon runs span() inside coroutines that yield to
+        # each other on one event loop.  Each span must charge only its
+        # own wall clock (closure-local start, not shared mutable state),
+        # no matter how the loop interleaves entry and exit.
+        import asyncio
+
+        t = Telemetry()
+
+        async def slow():
+            with t.span("slow"):
+                await asyncio.sleep(0.2)
+
+        async def quick(i: int):
+            await asyncio.sleep(0.05)
+            with t.span("quick"):
+                await asyncio.sleep(0.01)
+
+        async def main():
+            await asyncio.gather(slow(), *(quick(i) for i in range(5)))
+
+        asyncio.run(main())
+        assert t.timers["slow"].count == 1
+        assert t.timers["quick"].count == 5
+        # The slow span wraps the quick ones in wall time; if handles
+        # leaked across coroutines these bounds would be violated.
+        assert t.timers["slow"].max >= 0.2
+        assert t.timers["quick"].max < 0.15
+        assert t.timers["quick"].total < t.timers["slow"].total
+
+    def test_concurrent_observe_on_event_loop(self):
+        import asyncio
+
+        t = Telemetry()
+
+        async def worker(i: int):
+            for j in range(50):
+                t.observe("loop/latency", 0.001 * (i + 1))
+                await asyncio.sleep(0)
+
+        async def main():
+            await asyncio.gather(worker(0), worker(1), worker(2))
+
+        asyncio.run(main())
+        assert t.distributions["loop/latency"].count == 150

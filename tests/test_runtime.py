@@ -369,3 +369,178 @@ class TestStoreStats:
             gauges = telemetry.as_dict()["gauges"]
         assert gauges["store/entries"] == 1
         assert gauges["store/entries/features"] == 1
+
+
+class TestArtifactStoreLRU:
+    def test_get_refreshes_recency(self):
+        store = ArtifactStore(max_entries=2)
+        store.put(FP, "census", (1,), "a")
+        store.put(FP, "census", (2,), "b")
+        assert store.get(FP, "census", (1,)) == "a"  # touch: a is now newest
+        store.put(FP, "census", (3,), "c")
+        assert store.get(FP, "census", (2,)) is None  # b was the LRU victim
+        assert store.get(FP, "census", (1,)) == "a"
+        assert store.get(FP, "census", (3,)) == "c"
+
+    def test_overwrite_refreshes_recency(self):
+        store = ArtifactStore(max_entries=2)
+        store.put(FP, "census", (1,), "a")
+        store.put(FP, "census", (2,), "b")
+        store.put(FP, "census", (1,), "a2")  # overwrite: a is now newest
+        store.put(FP, "census", (3,), "c")
+        assert store.get(FP, "census", (2,)) is None
+        assert store.get(FP, "census", (1,)) == "a2"
+
+    def test_partition_floor_survives_census_flood(self):
+        # The regression this guards: a long census run used to evict the
+        # halo-complete partition sets it was itself iterating over.
+        store = ArtifactStore(max_entries=6)
+        for i in range(4):
+            store.put(FP, "partition", (i,), f"part-{i}")
+        for i in range(40):
+            store.put(FP, "census", (i,), i)
+        assert store.stage_entries("partition") == 4
+        for i in range(4):
+            assert store.get(FP, "partition", (i,)) == f"part-{i}"
+        assert store.stage_entries("census") == 2
+        assert len(store) == 6
+
+    def test_embed_floor_is_default_protected(self):
+        store = ArtifactStore(max_entries=4)
+        store.put(FP, "embed", (0,), "matrix")
+        for i in range(20):
+            store.put(FP, "census", (i,), i)
+        assert store.get(FP, "embed", (0,)) == "matrix"
+
+    def test_floor_overflow_rather_than_evict_protected(self):
+        # When everything evictable is protected the store runs over
+        # max_entries instead of dropping protected artifacts.
+        store = ArtifactStore(max_entries=2)
+        for i in range(4):
+            store.put(FP, "partition", (i,), i)
+        assert len(store) == 4
+        assert store.evictions == 0
+
+    def test_custom_floors_override_defaults(self):
+        # An explicit empty mapping clears the default partition floor.
+        store = ArtifactStore(max_entries=2, stage_floors={})
+        store.put(FP, "partition", (1,), "p")
+        store.put(FP, "census", (1,), "a")
+        store.put(FP, "census", (2,), "b")
+        assert store.get(FP, "partition", (1,)) is None  # no floor: evicted
+        assert store.get(FP, "census", (1,)) == "a"
+
+    def test_floor_keeps_stage_at_floor_not_above(self):
+        # A floor of 1 protects the *last* entry of a stage, not every
+        # entry: the oldest one is still evictable while count > floor.
+        store = ArtifactStore(max_entries=2, stage_floors={"census": 1})
+        store.put(FP, "census", (1,), "a")
+        store.put(FP, "partition", (1,), "p")
+        store.put(FP, "census", (2,), "b")
+        assert store.get(FP, "census", (1,)) is None  # oldest, above floor
+        assert store.get(FP, "census", (2,)) == "b"
+        assert store.get(FP, "partition", (1,)) == "p"
+
+    def test_discard_removes_without_counting_eviction(self):
+        store = ArtifactStore()
+        store.put(FP, "census", (1,), "a")
+        assert store.discard(FP, "census", (1,)) is True
+        assert store.discard(FP, "census", (1,)) is False
+        assert store.get(FP, "census", (1,)) is None
+        assert store.evictions == 0
+        assert store.stage_entries("census") == 0
+
+    def test_counter_artifacts_fast_copied(self):
+        from collections import Counter as _Counter
+
+        store = ArtifactStore()
+        census = _Counter({101: 3, 202: 1})
+        store.put(FP, "census", (1,), census)
+        census[999] = 7  # caller mutation must not reach the store
+        got = store.get(FP, "census", (1,))
+        assert got == _Counter({101: 3, 202: 1})
+        got[555] = 1  # nor must reader mutation
+        assert store.get(FP, "census", (1,)) == _Counter({101: 3, 202: 1})
+
+
+class TestArtifactStoreConcurrency:
+    def test_threaded_stress(self, tmp_path):
+        # Regression for the unsynchronised store: concurrent put/get/
+        # stats used to corrupt the entry dict and the stage tallies.
+        import threading
+
+        store = ArtifactStore(tmp_path / "store.pkl", max_entries=64)
+        stages = ("census", "walks", "embed", "features", "partition")
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for i in range(300):
+                    stage = stages[int(rng.integers(len(stages)))]
+                    config = (int(rng.integers(24)),)
+                    roll = rng.random()
+                    if roll < 0.5:
+                        store.put(FP, stage, config, (seed, i))
+                    elif roll < 0.9:
+                        store.get(FP, stage, config)
+                    elif roll < 0.97:
+                        store.stats()
+                        store.stage_stats()
+                    else:
+                        store.save()
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # The incremental stage tallies must agree with the entry dict.
+        assert sum(
+            store.stage_entries(stage) for stage in stages
+        ) == len(store)
+        if store.max_entries is not None:
+            protected = sum(store.stage_floors.values())
+            assert len(store) <= store.max_entries + protected
+
+    def test_concurrent_get_put_same_key(self):
+        import threading
+
+        store = ArtifactStore()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                store.put(FP, "census", (1,), {"i": i})
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    value = store.get(FP, "census", (1,))
+                    if value is not None:
+                        assert "i" in value
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        import time as _time
+
+        _time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []

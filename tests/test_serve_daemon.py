@@ -1,0 +1,351 @@
+"""Socket-level tests for the serving daemon.
+
+Each test runs a real :class:`ServeDaemon` on a unix socket inside one
+``asyncio.run()`` event loop (no pytest-asyncio in the toolchain) and
+speaks the newline-framed JSON protocol over
+``asyncio.open_unix_connection`` — exercising the full path a production
+client sees: framing, typed errors, shedding, timeouts, and shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import fresh_telemetry
+from repro.serve import FeatureService, ServeConfig, ServeDaemon
+from repro.serve.daemon import MAX_LINE_BYTES
+from repro.serve.protocol import ERROR_CODES, decode_request, require
+from repro.serve.protocol import ServeError as _ServeError
+
+
+def _graph(seed: int = 0):
+    from repro.datasets.synthetic import affinity_graph
+
+    return affinity_graph(
+        label_sizes={"a": 12, "b": 10, "c": 8},
+        affinity={("a", "b"): 1.0, ("b", "c"): 0.7, ("a", "c"): 0.3},
+        mean_degree=3.0,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _service(**kwargs) -> FeatureService:
+    service = FeatureService(_graph(), ServeConfig(emax=3, **kwargs))
+    service.warm()
+    return service
+
+
+async def _send(reader, writer, payload: dict) -> dict:
+    writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+    await writer.drain()
+    line = await reader.readline()
+    assert line, "daemon closed the connection unexpectedly"
+    return json.loads(line)
+
+
+async def _with_daemon(daemon: ServeDaemon, scenario) -> None:
+    """Run ``scenario(daemon)`` against a live daemon, then stop it."""
+    ready = asyncio.Event()
+    task = asyncio.create_task(daemon.run(ready))
+    await ready.wait()
+    try:
+        await scenario()
+    finally:
+        daemon.stop()
+        await task
+
+
+def _run(daemon: ServeDaemon, scenario) -> None:
+    asyncio.run(_with_daemon(daemon, scenario))
+
+
+class TestProtocolRoundTrips:
+    def test_read_ops(self, tmp_path):
+        service = _service()
+        node = service.graph.node_ids[0]
+        daemon = ServeDaemon(service, tmp_path / "s.sock")
+
+        async def scenario():
+            reader, writer = await asyncio.open_unix_connection(
+                str(daemon.socket_path)
+            )
+            response = await _send(reader, writer, {"id": 1, "op": "ping"})
+            assert response == {"id": 1, "ok": True, "result": {"pong": True}}
+
+            response = await _send(
+                reader, writer, {"id": 2, "op": "features", "node": node}
+            )
+            assert response["ok"]
+            result = response["result"]
+            assert result["node"] == str(node)
+            assert result["total"] == sum(result["counts"].values())
+
+            response = await _send(
+                reader, writer, {"id": 3, "op": "rank", "node": node, "k": 3}
+            )
+            assert response["ok"]
+            assert len(response["result"]["top"]) == 3
+            scores = [item["score"] for item in response["result"]["top"]]
+            assert scores == sorted(scores, reverse=True)
+
+            response = await _send(
+                reader, writer, {"id": 4, "op": "label", "node": node}
+            )
+            assert response["ok"]
+            assert response["result"]["predicted"] in service.graph.labelset.names
+
+            response = await _send(reader, writer, {"id": 5, "op": "stats"})
+            assert response["ok"]
+            assert response["result"]["graph"]["nodes"] == service.graph.num_nodes
+            writer.close()
+
+        with fresh_telemetry():
+            _run(daemon, scenario)
+        assert daemon.requests == 5
+
+    def test_write_ops_round_trip(self, tmp_path):
+        service = _service()
+        graph = service.graph
+        ids = graph.node_ids
+        edges = {(u, v) for u, v in graph.edges()}
+        u, v = next(
+            (u, v)
+            for u in range(graph.num_nodes)
+            for v in range(u + 1, graph.num_nodes)
+            if (u, v) not in edges
+        )
+        before = graph.num_edges
+        daemon = ServeDaemon(service, tmp_path / "s.sock")
+
+        async def scenario():
+            reader, writer = await asyncio.open_unix_connection(
+                str(daemon.socket_path)
+            )
+            response = await _send(
+                reader, writer,
+                {"id": 1, "op": "add_edge", "u": ids[u], "v": ids[v]},
+            )
+            assert response["ok"]
+            assert response["result"]["num_edges"] == before + 1
+            assert response["result"]["repaired_roots"] > 0
+            response = await _send(
+                reader, writer,
+                {"id": 2, "op": "remove_edge", "u": ids[u], "v": ids[v]},
+            )
+            assert response["ok"]
+            assert response["result"]["num_edges"] == before
+            writer.close()
+
+        with fresh_telemetry():
+            _run(daemon, scenario)
+
+    def test_typed_errors(self, tmp_path):
+        service = _service()
+        node = service.graph.node_ids[0]
+        daemon = ServeDaemon(service, tmp_path / "s.sock")
+
+        async def scenario():
+            reader, writer = await asyncio.open_unix_connection(
+                str(daemon.socket_path)
+            )
+            cases = [
+                (b"not json\n", "bad_request"),
+                (b'["a", "list"]\n', "bad_request"),
+                (b'{"op": "no_such_op"}\n', "unknown_op"),
+                (b'{"op": "features"}\n', "bad_request"),  # missing node
+                (b'{"op": "features", "node": "missing"}\n', "unknown_node"),
+                (b'{"op": "rank", "node": "%s", "k": 0}\n'
+                 % str(node).encode(), "bad_request"),
+                (b'{"op": "add_edge", "u": "%s", "v": "%s"}\n'
+                 % (str(node).encode(), str(node).encode()), "graph_error"),
+            ]
+            for payload, expected_code in cases:
+                writer.write(payload)
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                assert response["error"]["code"] == expected_code, payload
+                assert expected_code in ERROR_CODES
+            writer.close()
+
+        with fresh_telemetry():
+            _run(daemon, scenario)
+
+    def test_oversized_line_drops_connection(self, tmp_path):
+        daemon = ServeDaemon(_service(), tmp_path / "s.sock")
+
+        async def scenario():
+            reader, writer = await asyncio.open_unix_connection(
+                str(daemon.socket_path)
+            )
+            writer.write(b'{"op": "ping", "pad": "' + b"x" * MAX_LINE_BYTES)
+            try:
+                await writer.drain()
+                line = await reader.readline()
+            except (ConnectionResetError, BrokenPipeError):
+                line = b""  # the daemon tore the connection down mid-write
+            assert line == b""  # dropped rather than buffered without bound
+            writer.close()
+
+        with fresh_telemetry():
+            _run(daemon, scenario)
+
+
+class TestDegradation:
+    def test_shedding_under_load(self, tmp_path):
+        service = _service()
+        inner = service.handle
+
+        def slow_handle(request):
+            if request["op"] == "ping":
+                time.sleep(0.4)
+            return inner(request)
+
+        service.handle = slow_handle
+        daemon = ServeDaemon(service, tmp_path / "s.sock", max_inflight=1)
+
+        async def scenario():
+            r1, w1 = await asyncio.open_unix_connection(str(daemon.socket_path))
+            r2, w2 = await asyncio.open_unix_connection(str(daemon.socket_path))
+            slow = asyncio.create_task(_send(r1, w1, {"id": 1, "op": "ping"}))
+            await asyncio.sleep(0.15)  # let the slow ping occupy the slot
+            shed = await _send(r2, w2, {"id": 2, "op": "ping"})
+            assert shed["ok"] is False
+            assert shed["error"]["code"] == "overloaded"
+            ok = await slow
+            assert ok["ok"] is True
+            w1.close()
+            w2.close()
+
+        with fresh_telemetry() as telemetry:
+            _run(daemon, scenario)
+            assert daemon.shed_requests == 1
+            assert telemetry.as_dict()["counters"]["serve/shed_requests"] == 1
+
+    def test_timeout_then_recovery(self, tmp_path):
+        service = _service()
+        inner = service.handle
+
+        def slow_handle(request):
+            if request["op"] == "ping":
+                time.sleep(0.5)
+            return inner(request)
+
+        service.handle = slow_handle
+        node = service.graph.node_ids[0]
+        daemon = ServeDaemon(service, tmp_path / "s.sock", request_timeout=0.1)
+
+        async def scenario():
+            reader, writer = await asyncio.open_unix_connection(
+                str(daemon.socket_path)
+            )
+            response = await _send(reader, writer, {"id": 1, "op": "ping"})
+            assert response["ok"] is False
+            assert response["error"]["code"] == "timeout"
+            # The orphaned thread still holds its slot; a fresh request
+            # succeeds once it drains (features is not slowed).
+            response = await _send(
+                reader, writer, {"id": 2, "op": "features", "node": node}
+            )
+            assert response["ok"] is True
+            writer.close()
+
+        with fresh_telemetry():
+            _run(daemon, scenario)
+        assert daemon.timeouts == 1
+
+    def test_timed_out_write_never_overlaps_next_write(self, tmp_path):
+        """A straggling mutation thread must finish before the next one runs."""
+        service = _service()
+        inner = service.handle
+        active = {"writers": 0, "max": 0}
+
+        def slow_write_handle(request):
+            if request["op"] in ("add_edge", "remove_edge"):
+                active["writers"] += 1
+                active["max"] = max(active["max"], active["writers"])
+                try:
+                    time.sleep(0.3)
+                    return inner(request)
+                finally:
+                    active["writers"] -= 1
+            return inner(request)
+
+        service.handle = slow_write_handle
+        graph = service.graph
+        ids = graph.node_ids
+        edges = {(u, v) for u, v in graph.edges()}
+        fresh = [
+            (u, v)
+            for u in range(graph.num_nodes)
+            for v in range(u + 1, graph.num_nodes)
+            if (u, v) not in edges
+        ][:2]
+        daemon = ServeDaemon(service, tmp_path / "s.sock", request_timeout=0.1)
+
+        async def scenario():
+            r1, w1 = await asyncio.open_unix_connection(str(daemon.socket_path))
+            r2, w2 = await asyncio.open_unix_connection(str(daemon.socket_path))
+            (u1, v1), (u2, v2) = fresh
+            first = await _send(
+                r1, w1, {"id": 1, "op": "add_edge", "u": ids[u1], "v": ids[v1]}
+            )
+            assert first["error"]["code"] == "timeout"
+            # Sent immediately after the timeout: must wait out the
+            # straggler, not run alongside it.
+            second = await _send(
+                r2, w2, {"id": 2, "op": "add_edge", "u": ids[u2], "v": ids[v2]}
+            )
+            assert second["error"]["code"] == "timeout"
+            w1.close()
+            w2.close()
+
+        with fresh_telemetry():
+            _run(daemon, scenario)
+        assert active["max"] == 1, "two mutations overlapped"
+
+    def test_shutdown_op(self, tmp_path):
+        daemon = ServeDaemon(_service(), tmp_path / "s.sock")
+
+        async def scenario():
+            ready = asyncio.Event()
+            task = asyncio.create_task(daemon.run(ready))
+            await ready.wait()
+            reader, writer = await asyncio.open_unix_connection(
+                str(daemon.socket_path)
+            )
+            response = await _send(reader, writer, {"id": 1, "op": "shutdown"})
+            assert response == {"id": 1, "ok": True, "result": {"stopping": True}}
+            writer.close()
+            await asyncio.wait_for(task, timeout=5)
+            assert not daemon.socket_path.exists()
+
+        with fresh_telemetry():
+            asyncio.run(scenario())
+
+    def test_constructor_validation(self, tmp_path):
+        service = _service()
+        with pytest.raises(ValueError):
+            ServeDaemon(service, tmp_path / "s.sock", request_timeout=0)
+        with pytest.raises(ValueError):
+            ServeDaemon(service, tmp_path / "s.sock", max_inflight=0)
+
+
+class TestProtocolHelpers:
+    def test_decode_request_rejects_garbage(self):
+        for raw in (b"\xff\xfe\n", b"[1, 2]\n", b"42\n", b'{"op": 3}\n'):
+            with pytest.raises(_ServeError) as excinfo:
+                decode_request(raw)
+            assert excinfo.value.code == "bad_request"
+
+    def test_require_type_discipline(self):
+        assert require({"op": "x", "k": 5}, "k", int) == 5
+        with pytest.raises(_ServeError):
+            require({"op": "x"}, "k", int)
+        with pytest.raises(_ServeError):
+            require({"op": "x", "k": True}, "k", int)  # bool is not an int here

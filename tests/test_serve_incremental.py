@@ -1,0 +1,213 @@
+"""Randomized parity: incremental census repair vs cold full recompute.
+
+The serving layer's central claim is that after any sequence of edge
+mutations, every tracked root's census — repaired incrementally via the
+d_max-ball (:func:`repro.serve.repair.repair_ball`) — is **bit-identical**
+to a census computed from scratch on the mutated graph.  These tests
+drive k random insertions/deletions through
+:meth:`FeatureService.apply_mutation` and compare every root, for every
+exact engine, at ``n_jobs`` in {1, 2}, in both serving variants
+(plain and masked-start-label).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CensusConfig, MutableHeteroGraph, SubgraphFeatureExtractor
+from repro.core.graph import HeteroGraph
+from repro.exceptions import GraphError
+from repro.runtime import EXACT_ENGINES
+from repro.serve import FeatureService, ServeConfig, repair_ball
+from repro.serve.service import VARIANTS
+
+
+def _random_graph(seed: int = 0, mean_degree: float = 3.0) -> HeteroGraph:
+    from repro.datasets.synthetic import affinity_graph
+
+    return affinity_graph(
+        label_sizes={"a": 16, "b": 14, "c": 10},
+        affinity={("a", "b"): 1.0, ("b", "c"): 0.7, ("a", "c"): 0.3},
+        mean_degree=mean_degree,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _apply_random_mutations(
+    service: FeatureService, k: int, seed: int
+) -> list[tuple[str, object, object]]:
+    """Drive ``k`` valid random mutations through the service."""
+    rng = np.random.default_rng(seed)
+    ids = service.graph.node_ids
+    n = service.graph.num_nodes
+    edges = {(u, v) for u, v in service.graph.edges()}
+    applied = []
+    for _ in range(k):
+        if edges and rng.random() < 0.5:
+            u, v = sorted(edges)[int(rng.integers(len(edges)))]
+            service.apply_mutation("remove_edge", ids[u], ids[v])
+            edges.discard((u, v))
+            applied.append(("remove_edge", ids[u], ids[v]))
+        else:
+            while True:
+                u, v = (int(x) for x in rng.integers(n, size=2))
+                key = (u, v) if u < v else (v, u)
+                if u != v and key not in edges:
+                    break
+            service.apply_mutation("add_edge", ids[u], ids[v])
+            edges.add(key)
+            applied.append(("add_edge", ids[u], ids[v]))
+    return applied
+
+
+def _assert_bit_identical(service: FeatureService) -> None:
+    """Every tracked census must equal a cold recompute on a fresh graph."""
+    cold_graph = service.graph.snapshot()
+    for variant in VARIANTS:
+        config = service._census_configs[variant]
+        extractor = SubgraphFeatureExtractor(config)
+        cold = extractor.census_many(cold_graph, list(range(cold_graph.num_nodes)))
+        for root, expected in enumerate(cold):
+            got = service.census(variant, root)
+            assert dict(got) == dict(expected), (
+                f"variant={variant} root={root}: repaired census diverged "
+                f"from cold recompute"
+            )
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize("engine", EXACT_ENGINES)
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_random_mutations_bit_identical(self, engine, n_jobs):
+        graph = _random_graph(seed=11)
+        service = FeatureService(
+            graph, ServeConfig(emax=3, dmax=None, engine=engine, n_jobs=n_jobs)
+        )
+        service.warm()
+        applied = _apply_random_mutations(service, k=8, seed=23)
+        assert len(applied) == 8
+        _assert_bit_identical(service)
+
+    def test_parity_with_hub_cutoff(self):
+        # d_max pruning is where the repair-ball math is subtle (endpoint
+        # exemption, hubs-as-leaves) — exercise it explicitly.
+        graph = _random_graph(seed=5, mean_degree=4.0)
+        service = FeatureService(graph, ServeConfig(emax=3, dmax=4))
+        service.warm()
+        _apply_random_mutations(service, k=10, seed=41)
+        _assert_bit_identical(service)
+
+    def test_parity_larger_emax(self):
+        graph = _random_graph(seed=2, mean_degree=2.5)
+        service = FeatureService(graph, ServeConfig(emax=4, dmax=5))
+        service.warm()
+        _apply_random_mutations(service, k=4, seed=7)
+        _assert_bit_identical(service)
+
+    def test_mutation_repairs_only_ball(self):
+        graph = _random_graph(seed=3)
+        service = FeatureService(graph, ServeConfig(emax=3))
+        service.warm()
+        before = service.stats()["repaired_roots"]
+        ids = service.graph.node_ids
+        edges = {(u, v) for u, v in service.graph.edges()}
+        rng = np.random.default_rng(0)
+        while True:
+            u, v = (int(x) for x in rng.integers(service.graph.num_nodes, size=2))
+            if u != v and (min(u, v), max(u, v)) not in edges:
+                break
+        result = service.apply_mutation("add_edge", ids[u], ids[v])
+        # The repaired set is exactly the ball; on a sparse graph that is
+        # a strict subset of all roots.
+        assert result["repaired_roots"] == result["ball_size"] * len(VARIANTS)
+        assert result["ball_size"] < service.graph.num_nodes
+        assert service.stats()["repaired_roots"] - before == result["repaired_roots"]
+
+
+class TestRepairBall:
+    def test_ball_radius_is_emax_minus_one(self):
+        # Path p0-p1-p2-p3-p4-p5; mutate around the middle edge (p2, p3).
+        labels = {f"p{i}": "A" for i in range(6)}
+        edges = [(f"p{i}", f"p{i+1}") for i in range(5)]
+        graph = HeteroGraph.from_edges(labels, edges)
+        u, v = graph.index("p2"), graph.index("p3")
+        ball = repair_ball(graph, u, v, CensusConfig(max_edges=2))
+        # Radius 1 from {p2, p3}.
+        assert ball == {graph.index(p) for p in ("p1", "p2", "p3", "p4")}
+        ball = repair_ball(graph, u, v, CensusConfig(max_edges=3))
+        assert ball == set(range(6))
+
+    def test_hub_interior_not_expanded(self):
+        # Star centre h (degree 4 > dmax) sits between the mutated edge
+        # and the far node: h joins the ball, nodes behind it do not.
+        labels = {n: "A" for n in ("u", "v", "h", "s1", "s2", "far")}
+        edges = [("u", "v"), ("v", "h"), ("h", "s1"), ("h", "s2"), ("h", "far")]
+        graph = HeteroGraph.from_edges(labels, edges)
+        config = CensusConfig(max_edges=4, max_degree=3)
+        ball = repair_ball(graph, graph.index("u"), graph.index("v"), config)
+        assert graph.index("h") in ball
+        assert graph.index("far") not in ball
+
+    def test_endpoints_exempt_from_hub_pruning(self):
+        # Endpoint v is itself a hub; its neighbours must still enter the
+        # ball because the mutation flips v's degree.
+        labels = {n: "A" for n in ("u", "v", "n1", "n2", "n3", "n4")}
+        edges = [("u", "v")] + [("v", f"n{i}") for i in range(1, 5)]
+        graph = HeteroGraph.from_edges(labels, edges)
+        config = CensusConfig(max_edges=3, max_degree=2)
+        ball = repair_ball(graph, graph.index("u"), graph.index("v"), config)
+        for i in range(1, 5):
+            assert graph.index(f"n{i}") in ball
+
+
+class TestMutableGraphParity:
+    def test_mutations_match_from_edges_rebuild(self):
+        graph = _random_graph(seed=9)
+        mutable = MutableHeteroGraph.from_graph(graph)
+        rng = np.random.default_rng(17)
+        edges = {(u, v) for u, v in graph.edges()}
+        ids = graph.node_ids
+        for _ in range(20):
+            if edges and rng.random() < 0.5:
+                u, v = sorted(edges)[int(rng.integers(len(edges)))]
+                mutable.remove_edge(ids[u], ids[v])
+                edges.discard((u, v))
+            else:
+                while True:
+                    u, v = (int(x) for x in rng.integers(graph.num_nodes, size=2))
+                    key = (u, v) if u < v else (v, u)
+                    if u != v and key not in edges:
+                        break
+                mutable.add_edge(ids[u], ids[v])
+                edges.add(key)
+        names = graph.labelset.names
+        rebuilt = HeteroGraph.from_edges(
+            {ids[i]: names[int(graph.labels[i])] for i in range(graph.num_nodes)},
+            [(ids[u], ids[v]) for u, v in sorted(edges)],
+        )
+        assert mutable.num_edges == rebuilt.num_edges
+        assert mutable.fingerprint() == rebuilt.fingerprint()
+        for node in range(graph.num_nodes):
+            assert np.array_equal(
+                mutable.neighbors(node), rebuilt.neighbors(node)
+            )
+
+    def test_apply_mutation_validates(self):
+        graph = _random_graph(seed=1)
+        service = FeatureService(graph, ServeConfig(emax=3))
+        ids = service.graph.node_ids
+        u, v = next(iter(service.graph.edges()))
+        from repro.serve import ServeError
+
+        with pytest.raises(GraphError):
+            service.apply_mutation("add_edge", ids[u], ids[v])  # duplicate
+        with pytest.raises(GraphError):
+            service.apply_mutation("add_edge", ids[u], ids[u])  # self loop
+        with pytest.raises(ServeError) as excinfo:
+            service.apply_mutation("add_edge", "no-such-node", ids[v])
+        assert excinfo.value.code == "unknown_node"
+        removed = service.apply_mutation("remove_edge", ids[u], ids[v])
+        assert removed["op"] == "remove_edge"
+        with pytest.raises(GraphError):
+            service.apply_mutation("remove_edge", ids[u], ids[v])  # gone
