@@ -1,0 +1,167 @@
+"""Subprocess workers for the out-of-core census benchmark.
+
+``test_perf_census_mmap.py`` measures peak RSS, and ``ru_maxrss`` is a
+per-process high-water mark — measuring inside the pytest process would
+report the harness's own footprint, not the pipeline's.  Each mode below
+therefore runs in a fresh interpreter and prints a single JSON line:
+
+* ``baseline``  — import the pipeline modules and report the interpreter's
+  resting footprint (the floor every cap calculation starts from).
+* ``generate``  — stream a synthetic circulant edge list to disk: ``v``
+  lines for ``nodes`` round-robin-labelled nodes, then one ``e`` line per
+  (node, stride) pair.  Distinct strides below ``nodes / 2`` give a
+  duplicate-free, self-loop-free graph of exactly ``nodes * strides``
+  edges without the generator ever holding an edge set in memory.
+* ``ingest``    — run :func:`repro.io.stream.build_mmap_graph` over such a
+  file and report its wall-clock and peak RSS.
+* ``dict_rss``  — load the same format with ``read_edgelist`` into a
+  dict-backed graph (plus its census adjacency snapshot) and report peak
+  RSS; the bench extrapolates this per-edge footprint to full scale.
+* ``pipeline``  — the rank-prediction-style run under test: open the
+  ``.hmg`` with :class:`~repro.core.mmap_graph.MmapGraph`, stream a root
+  census through :func:`~repro.io.stream.census_stream` into a bounded
+  :class:`~repro.runtime.store.ArtifactStore`, build a log1p feature
+  matrix, train a random-forest regressor, and score NDCG on the held-out
+  half — reporting peak RSS and timings.
+
+Usage: ``python _census_mmap_child.py <mode> '<json-params>'``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+def emit(payload: dict) -> None:
+    # The JSON line is this child's protocol output, not a diagnostic;
+    # sys.stdout.write keeps the no-bare-print guard meaningful.
+    sys.stdout.write(json.dumps(payload) + "\n")
+    sys.stdout.flush()
+
+
+def peak_rss_kb() -> float:
+    from repro.obs.manifest import peak_rss_kb as _peak
+
+    return _peak() or 0.0
+
+
+def mode_baseline(params: dict) -> None:
+    # The import surface of the pipeline child, nothing else.
+    import numpy  # noqa: F401
+
+    from repro.core.mmap_graph import MmapGraph  # noqa: F401
+    from repro.io.stream import census_stream  # noqa: F401
+    from repro.ml import RandomForestRegressor  # noqa: F401
+
+    emit({"peak_rss_kb": peak_rss_kb()})
+
+
+def mode_generate(params: dict) -> None:
+    nodes, strides = params["nodes"], params["strides"]
+    labels = "ABC"
+    with open(params["out"], "w", encoding="utf-8") as handle:
+        for i in range(nodes):
+            handle.write(f"v {i} {labels[i % len(labels)]}\n")
+        for stride in range(1, strides + 1):
+            for i in range(nodes):
+                handle.write(f"e {i} {(i + stride) % nodes}\n")
+    emit({"nodes": nodes, "edges": nodes * strides})
+
+
+def mode_ingest(params: dict) -> None:
+    import os
+
+    from repro.io.stream import build_mmap_graph
+
+    started = time.perf_counter()
+    path = build_mmap_graph(
+        params["edgelist"],
+        params["out"],
+        store_ids=False,  # roots are addressed by index out-of-core
+        chunk_edges=params["chunk_edges"],
+    )
+    emit(
+        {
+            "seconds": time.perf_counter() - started,
+            "peak_rss_kb": peak_rss_kb(),
+            "file_bytes": os.path.getsize(path),
+        }
+    )
+
+
+def mode_dict_rss(params: dict) -> None:
+    from repro.io.edgelist import read_edgelist
+
+    graph = read_edgelist(params["edgelist"])
+    graph.flat()  # the snapshot every census over a dict graph builds
+    emit({"peak_rss_kb": peak_rss_kb(), "num_edges": graph.num_edges})
+
+
+def mode_pipeline(params: dict) -> None:
+    import numpy as np
+
+    from repro.core.census import CensusConfig
+    from repro.core.features import FeatureSpace
+    from repro.core.mmap_graph import MmapGraph
+    from repro.io.stream import census_stream
+    from repro.ml import RandomForestRegressor, log1p_counts, ndcg_at
+    from repro.runtime.context import RunContext
+    from repro.runtime.store import ArtifactStore
+
+    started = time.perf_counter()
+    graph = MmapGraph(params["graph"])
+    num_roots = params["num_roots"]
+    step = max(1, graph.num_nodes // num_roots)
+    roots = list(range(0, graph.num_nodes, step))[:num_roots]
+    config = CensusConfig(max_edges=params["emax"], mask_start_label=True)
+    store = ArtifactStore(max_entries=max(64, 2 * params["batch_size"]))
+    census_started = time.perf_counter()
+    censuses = [
+        census
+        for _, census in census_stream(
+            graph,
+            roots,
+            config,
+            batch_size=params["batch_size"],
+            ctx=RunContext(store=store),
+        )
+    ]
+    census_seconds = time.perf_counter() - census_started
+    space = FeatureSpace().fit(censuses)
+    matrix = np.zeros((len(roots), len(space)), dtype=np.float64)
+    for row, census in enumerate(censuses):
+        for key, count in census.items():
+            matrix[row, space.index(key)] = count
+    matrix = log1p_counts(matrix)
+    target = np.log1p([sum(census.values()) for census in censuses])
+    half = len(roots) // 2
+    model = RandomForestRegressor(
+        n_estimators=params["trees"], random_state=0
+    ).fit(matrix[:half], target[:half])
+    score = ndcg_at(target[half:], model.predict(matrix[half:]), n=10)
+    emit(
+        {
+            "peak_rss_kb": peak_rss_kb(),
+            "mmap_backed": graph.mmap_backed,
+            "census_seconds": census_seconds,
+            "total_seconds": time.perf_counter() - started,
+            "ndcg": float(score),
+            "num_features": len(space),
+            "num_roots": len(roots),
+        }
+    )
+
+
+MODES = {
+    "baseline": mode_baseline,
+    "generate": mode_generate,
+    "ingest": mode_ingest,
+    "dict_rss": mode_dict_rss,
+    "pipeline": mode_pipeline,
+}
+
+
+if __name__ == "__main__":
+    MODES[sys.argv[1]](json.loads(sys.argv[2]))

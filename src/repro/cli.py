@@ -4,7 +4,8 @@ Exposes the library's day-to-day operations on serialised graphs::
 
     python -m repro info graph.json
     python -m repro connectivity graph.hel
-    python -m repro census graph.json --root MIT --emax 4
+    python -m repro ingest graph.hel --out graph.hmg
+    python -m repro census graph.hmg --root MIT --emax 4
     python -m repro features graph.json --nodes MIT,ETH --out features.json
     python -m repro collisions --labels 2 --max-edges 5 --no-loops
     python -m repro embed graph.json --method deepwalk --out emb.npy
@@ -14,7 +15,10 @@ Exposes the library's day-to-day operations on serialised graphs::
     python -m repro serve graph.json --socket /tmp/repro.sock
 
 Graphs load from the labelled edge-list format (``.hel``, see
-:mod:`repro.io.edgelist`) or the JSON format (anything else).
+:mod:`repro.io.edgelist`), the out-of-core mmap format (``.hmg``, built
+by ``repro ingest`` — see ``docs/out_of_core.md``), or the JSON format
+(anything else).  ``--mmap-graph`` on the census/features/rank/label
+commands converts an in-memory graph to mmap storage before the run.
 
 Results (tables, matrices, counts) go to stdout via ``print``;
 diagnostics go to stderr through :mod:`repro.obs.log` and are controlled
@@ -71,13 +75,29 @@ from repro.runtime import (
 logger = get_logger(__name__)
 
 
-def _load_graph(path: str):
+def _load_graph(path: str, *, mmap: bool = False):
+    """Load a graph file, dispatching on suffix.
+
+    ``mmap=True`` (the ``--mmap-graph`` flag) converts an in-memory
+    graph to out-of-core mmap storage through a temp ``.hmg`` file;
+    graphs already opened from ``.hmg`` are returned as they are.
+    """
+    from repro.core.mmap_graph import HMG_SUFFIX, MmapGraph
+
     path = Path(path)
     if not path.exists():
         raise SystemExit(f"error: no such file: {path}")
-    if path.suffix == ".hel":
-        return read_edgelist(path)
-    return read_graph_json(path)
+    if path.suffix == HMG_SUFFIX:
+        graph = MmapGraph(path)
+    elif path.suffix == ".hel":
+        graph = read_edgelist(path)
+    else:
+        graph = read_graph_json(path)
+    if mmap:
+        from repro.io.stream import to_mmap_graph
+
+        graph = to_mmap_graph(graph)
+    return graph
 
 
 def _census_config(args) -> CensusConfig:
@@ -198,11 +218,38 @@ def cmd_connectivity(args) -> int:
     return 0
 
 
+def cmd_ingest(args) -> int:
+    from repro.core.mmap_graph import HMG_SUFFIX, MmapGraph
+    from repro.exceptions import GraphError
+    from repro.io.stream import build_mmap_graph
+
+    source = Path(args.edgelist)
+    if not source.exists():
+        raise SystemExit(f"error: no such file: {source}")
+    out = Path(args.out) if args.out else source.with_suffix(HMG_SUFFIX)
+    try:
+        build_mmap_graph(
+            source,
+            out,
+            chunk_edges=args.chunk_edges,
+            store_ids=not args.no_ids,
+        )
+    except GraphError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    with MmapGraph(out) as graph:
+        print(f"{out}: {out.stat().st_size} bytes")
+        print(f"  nodes: {graph.num_nodes}")
+        print(f"  edges: {graph.num_edges}")
+        print(f"  labels: {', '.join(graph.labelset.names)}")
+        print(f"  fingerprint: {graph.fingerprint()}")
+    return 0
+
+
 def cmd_census(args) -> int:
     ctx = _build_context(args)
     pipeline = Pipeline("census", ctx)
     with pipeline.stage("dataset"):
-        graph = _load_graph(args.graph)
+        graph = _load_graph(args.graph, mmap=args.mmap_graph)
     config = _census_config(args)
     extractor = SubgraphFeatureExtractor(
         config, sampled=_sampled_config(args), ctx=ctx
@@ -231,7 +278,7 @@ def cmd_features(args) -> int:
     ctx = _build_context(args)
     pipeline = Pipeline("features", ctx)
     with pipeline.stage("dataset"):
-        graph = _load_graph(args.graph)
+        graph = _load_graph(args.graph, mmap=args.mmap_graph)
     config = _census_config(args)
     names = _csv(args.nodes)
     if not names:
@@ -373,6 +420,7 @@ def cmd_rank(args) -> int:
         # still trains an exact (fast) forest.
         forest_engine=args.engine if args.engine in EXACT_ENGINES else "fast",
         n_jobs=args.n_jobs,
+        storage="mmap" if args.mmap_graph else "dict",
     )
     ctx = _build_context(args)
     pipeline = Pipeline("rank", ctx)
@@ -408,7 +456,7 @@ def cmd_label(args) -> int:
     ctx = _build_context(args)
     pipeline = Pipeline("label", ctx)
     with pipeline.stage("dataset"):
-        graph = _load_graph(args.graph)
+        graph = _load_graph(args.graph, mmap=args.mmap_graph)
     features = tuple(_csv(args.features)) if args.features else FEATURE_TYPES
     config = LabelTaskConfig(
         per_label=args.per_label,
@@ -571,6 +619,32 @@ def build_parser() -> argparse.ArgumentParser:
     common_args(p_conn, telemetry=False)
     p_conn.set_defaults(func=cmd_connectivity)
 
+    p_ingest = sub.add_parser(
+        "ingest", help="build an out-of-core .hmg graph from an edge list"
+    )
+    p_ingest.add_argument("edgelist", help="labelled edge-list file (.hel)")
+    p_ingest.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output .hmg path (default: the edge list with a .hmg suffix)",
+    )
+    p_ingest.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=1 << 18,
+        metavar="N",
+        help="edges sorted per in-memory run; bounds the ingester's "
+        "working set (see docs/out_of_core.md)",
+    )
+    p_ingest.add_argument(
+        "--no-ids",
+        action="store_true",
+        help="drop external node ids; nodes are addressed by dense index",
+    )
+    common_args(p_ingest)
+    p_ingest.set_defaults(func=cmd_ingest)
+
     def sample_args(p):
         p.add_argument(
             "--sample-budget",
@@ -593,6 +667,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="EPS",
             help="stop a root early once its CI half-width falls below "
             "EPS x the total estimate",
+        )
+
+    def mmap_args(p):
+        p.add_argument(
+            "--mmap-graph",
+            action="store_true",
+            help="convert the graph to out-of-core mmap storage before the "
+            "run; results are bit-identical (see docs/out_of_core.md)",
         )
 
     def census_args(p):
@@ -623,6 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard the census over this many halo-complete graph "
             "partitions (default: fan out individual roots)",
         )
+        mmap_args(p)
         store_args(p)
         common_args(p)
 
@@ -763,6 +846,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the census stage over this many halo-complete graph "
         "partitions (results are identical for any value)",
     )
+    mmap_args(p_rank)
     store_args(p_rank)
     common_args(p_rank)
     p_rank.set_defaults(func=cmd_rank)
@@ -821,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the census stage over this many halo-complete graph "
         "partitions (results are identical for any value)",
     )
+    mmap_args(p_label)
     store_args(p_label)
     common_args(p_label)
     p_label.set_defaults(func=cmd_label)

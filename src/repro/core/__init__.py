@@ -20,7 +20,14 @@ from repro.core.features import (
     SubgraphFeatureExtractor,
     SubgraphFeatures,
 )
-from repro.core.graph import FlatAdjacency, HeteroGraph, MutableHeteroGraph
+from repro.core.graph import (
+    FlatAdjacency,
+    FlatGraph,
+    HeteroGraph,
+    MutableHeteroGraph,
+    fingerprint_adjacency,
+)
+from repro.core.mmap_graph import MmapGraph
 from repro.core.sparse import CSRMatrix
 from repro.core.hashing import RollingSubgraphHash
 from repro.core.interpret import RankedFeature, describe_code, rank_features, realize_code
@@ -61,7 +68,10 @@ __all__ = [
     "CSRMatrix",
     "FeatureSpace",
     "FlatAdjacency",
+    "FlatGraph",
+    "fingerprint_adjacency",
     "HeteroGraph",
+    "MmapGraph",
     "LabelConnectivity",
     "LabelSet",
     "MASK_LABEL",

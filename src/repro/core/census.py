@@ -855,6 +855,9 @@ def subgraph_census(
     # untouched so the engine perf gates keep measuring real work.
     telemetry.count("census/calls")
     telemetry.count("census/subgraphs", sum(counts.values()))
+    telemetry.annotate(
+        "census/storage", getattr(graph, "storage_kind", "dict")
+    )
     return counts
 
 

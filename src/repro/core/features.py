@@ -271,6 +271,13 @@ class SubgraphFeatureExtractor:
         ``n_jobs``, ``partitions``, and the artifact store when the
         legacy keywords are not given explicitly.  A context store also
         enables feature-matrix caching in :meth:`fit_transform`.
+    mp_context:
+        Multiprocessing start method for the worker pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"``, or a ready context object);
+        ``None`` keeps the platform default.  With an
+        :class:`~repro.core.mmap_graph.MmapGraph` the initializer ships
+        only the file path and workers re-open the mapping, so even
+        ``"spawn"`` pools start without serialising the graph.
     """
 
     def __init__(
@@ -282,6 +289,7 @@ class SubgraphFeatureExtractor:
         partitions: int | None = None,
         sampled: SampledCensusConfig | None = None,
         ctx: RunContext | None = None,
+        mp_context=None,
     ) -> None:
         if n_jobs is not None and n_jobs < 1:
             raise FeatureError(f"n_jobs must be >= 1, got {n_jobs}")
@@ -309,6 +317,14 @@ class SubgraphFeatureExtractor:
         #: part of every census cache key so estimates never collide with
         #: exact counts.
         self.sampled = sampled
+        self.mp_context = mp_context
+
+    def _resolved_mp_context(self):
+        if isinstance(self.mp_context, str):
+            import multiprocessing
+
+            return multiprocessing.get_context(self.mp_context)
+        return self.mp_context
 
     def census_many(
         self,
@@ -346,6 +362,9 @@ class SubgraphFeatureExtractor:
         elif partitions < 1:
             raise FeatureError(f"partitions must be >= 1, got {partitions}")
         telemetry = get_telemetry()
+        telemetry.annotate(
+            "census/storage", getattr(graph, "storage_kind", "dict")
+        )
         # node -> positions in the output; computing per *unique* node is
         # the dedup bugfix: duplicates used to miss the cache once per
         # occurrence because every get() ran before any put().
@@ -422,6 +441,7 @@ class SubgraphFeatureExtractor:
                 ]
                 with ProcessPoolExecutor(
                     max_workers=self.n_jobs,
+                    mp_context=self._resolved_mp_context(),
                     initializer=_init_census_worker,
                     initargs=(graph, config, self.engine, sampled),
                 ) as pool:

@@ -78,12 +78,127 @@ class FlatAdjacency:
     edge_v: list
 
 
+class FlatGraph:
+    """Read-only graph backed directly by a :class:`FlatAdjacency`.
+
+    This is the *flat-adjacency contract*: the exact surface every census
+    engine (fast, reference, sampled), the partitioned driver, and the
+    serve-layer repair BFS consume — ``flat()``, ``labelset``,
+    ``num_nodes``/``num_edges``, ``label_of``, ``degree`` and
+    ``neighbors``.  Anything exposing this surface can be censused;
+    nothing in those layers may touch :class:`HeteroGraph` internals.
+
+    The snapshot fields only need to be indexable/sliceable containers of
+    plain Python ints — lists (dict-backed graphs, partition shards) and
+    ``memoryview("q")`` windows over memory-mapped files
+    (:class:`~repro.core.mmap_graph.MmapGraph`) both qualify, and both
+    produce bit-identical census results because the engines never see
+    anything but the values.
+    """
+
+    #: Storage backend reported in ``census/storage`` telemetry.
+    storage_kind = "flat"
+
+    __slots__ = ("_flat", "_labelset", "_num_nodes", "_fingerprint")
+
+    def __init__(self, flat: FlatAdjacency, labelset: LabelSet) -> None:
+        self._flat = flat
+        self._labelset = labelset
+        self._num_nodes = len(flat.labels)
+        self._fingerprint = None
+
+    def __getstate__(self):
+        return (self._flat, self._labelset)
+
+    def __setstate__(self, state) -> None:
+        self.__init__(*state)
+
+    @property
+    def labelset(self) -> LabelSet:
+        return self._labelset
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._flat.edge_u)
+
+    def flat(self) -> FlatAdjacency:
+        return self._flat
+
+    def label_of(self, index: int) -> int:
+        return self._flat.labels[index]
+
+    def degree(self, index: int) -> int:
+        return self._flat.degrees[index]
+
+    def degrees(self) -> np.ndarray:
+        """Array of all node degrees, aligned with indices."""
+        return np.asarray(self._flat.degrees, dtype=np.int64)
+
+    def neighbors(self, index: int):
+        """Neighbour indices of ``index`` sorted by (label, index)."""
+        lo = self._flat.indptr[index]
+        hi = self._flat.indptr[index + 1]
+        return self._flat.neighbors[lo:hi]
+
+    def fingerprint(self) -> str:
+        """Content hash of the labelled structure (cached).
+
+        Byte-for-byte the same formula as :meth:`HeteroGraph.fingerprint`
+        — label alphabet, per-node labels, then each (label, index)-sorted
+        adjacency row — so a flat- or mmap-backed view of the same graph
+        shares ArtifactStore keys with its dict-backed twin.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_adjacency(
+                self._labelset,
+                self._flat.labels,
+                self._iter_rows(),
+            )
+        return self._fingerprint
+
+    def _iter_rows(self) -> Iterator:
+        flat = self._flat
+        for v in range(self._num_nodes):
+            yield flat.neighbors[flat.indptr[v]: flat.indptr[v + 1]]
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, labels={list(self._labelset.names)!r})"
+        )
+
+
+def fingerprint_adjacency(labelset: LabelSet, labels, rows) -> str:
+    """The shared graph content-hash: alphabet, labels, adjacency rows.
+
+    ``labels`` is any int sequence; ``rows`` yields each node's
+    (label, index)-sorted neighbour sequence in node order.  Every graph
+    backend hashes through here (directly or by the identical inlined
+    formula), which is what lets censuses of the same structure share
+    cache entries regardless of how the graph is stored.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr(tuple(labelset.names)).encode())
+    digest.update(np.asarray(labels, dtype=np.int64).tobytes())
+    for row in rows:
+        digest.update(np.asarray(row, dtype=np.int64).tobytes())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
 class HeteroGraph:
     """An immutable undirected node-labelled simple graph.
 
     Use :meth:`from_edges` or :meth:`from_networkx` rather than calling the
     constructor directly.
     """
+
+    #: Storage backend reported in ``census/storage`` telemetry.
+    storage_kind = "dict"
 
     __slots__ = (
         "_labelset",

@@ -46,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.census import CensusConfig
-from repro.core.graph import FlatAdjacency, HeteroGraph
+from repro.core.graph import FlatAdjacency, FlatGraph, HeteroGraph
 from repro.core.labels import LabelSet
 from repro.exceptions import PartitionError
 from repro.obs.telemetry import get_telemetry
@@ -105,55 +105,22 @@ class PartitionConfig:
             )
 
 
-class PartitionGraph:
+class PartitionGraph(FlatGraph):
     """Census-compatible view of one shard (owned nodes plus halo).
 
-    Quacks like :class:`~repro.core.graph.HeteroGraph` for exactly the
-    surface the census engines touch: ``flat()``, ``labelset``,
-    ``num_nodes``, ``label_of``, ``degree`` and ``neighbors``.  Degrees
-    are **global** — see the module docstring — while node ids are
+    A plain :class:`~repro.core.graph.FlatGraph` over the shard's compact
+    local adjacency — the flat-adjacency contract is exactly the surface
+    the census engines touch.  The one shard-specific wrinkle is that
+    ``degree``/``degrees`` report the node's degree in the *full* graph
+    (the snapshot's ``degrees`` are recorded globally at partition time,
+    see the module docstring) so ``d_max`` hub checks inside a shard
+    match the single-shard engines bit for bit, while node ids are
     partition-local.
     """
 
-    __slots__ = ("_flat", "_labelset", "_num_nodes")
+    storage_kind = "partition"
 
-    def __init__(self, flat: FlatAdjacency, labelset: LabelSet) -> None:
-        self._flat = flat
-        self._labelset = labelset
-        self._num_nodes = len(flat.labels)
-
-    def __getstate__(self):
-        return (self._flat, self._labelset)
-
-    def __setstate__(self, state) -> None:
-        self.__init__(*state)
-
-    @property
-    def labelset(self) -> LabelSet:
-        return self._labelset
-
-    @property
-    def num_nodes(self) -> int:
-        return self._num_nodes
-
-    @property
-    def num_edges(self) -> int:
-        return len(self._flat.edge_u)
-
-    def flat(self) -> FlatAdjacency:
-        return self._flat
-
-    def label_of(self, index: int) -> int:
-        return self._flat.labels[index]
-
-    def degree(self, index: int) -> int:
-        """The node's degree in the *full* graph (hub checks need it)."""
-        return self._flat.degrees[index]
-
-    def neighbors(self, index: int) -> list:
-        lo = self._flat.indptr[index]
-        hi = self._flat.indptr[index + 1]
-        return self._flat.neighbors[lo:hi]
+    __slots__ = ()
 
 
 @dataclass

@@ -112,6 +112,12 @@ class RankTaskConfig:
     #: zeros of the heavy-tailed subgraph vocabulary until the model
     #: boundary densifies.
     layout: str = "dense"
+    #: Graph storage for the per-conference census graphs: "dict" keeps
+    #: the in-memory HeteroGraph; "mmap" converts each graph to
+    #: out-of-core mmap storage (see ``docs/out_of_core.md``) so worker
+    #: pools re-open the mapping instead of unpickling the graph.
+    #: Results are bit-identical either way.
+    storage: str = "dict"
     #: Census engine for the subgraph family ("fast"/"reference" exact,
     #: "sampled" approximate).  Classic and embedding families are
     #: unaffected.
@@ -203,9 +209,19 @@ class RankPredictionExperiment:
     def _graph(self, conference: str, feature_year: int):
         key = (conference, feature_year)
         if key not in self._graphs:
-            self._graphs[key] = self.mag.build_rank_graph(
+            graph = self.mag.build_rank_graph(
                 conference, feature_year, reference_depth=self.config.reference_depth
             )
+            if self.config.storage == "mmap":
+                from repro.io.stream import to_mmap_graph
+
+                graph = to_mmap_graph(graph)
+            elif self.config.storage != "dict":
+                raise ValueError(
+                    f"unknown graph storage {self.config.storage!r} "
+                    "(choices: dict, mmap)"
+                )
+            self._graphs[key] = graph
         return self._graphs[key]
 
     def _feature_years(self) -> list[int]:

@@ -1,6 +1,6 @@
 """Serialisation of heterogeneous graphs and extracted features."""
 
-from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.edgelist import iter_edgelist, read_edgelist, write_edgelist
 from repro.io.graphml import read_graphml, write_graphml
 from repro.io.jsongraph import (
     features_from_dict,
@@ -12,18 +12,29 @@ from repro.io.jsongraph import (
     write_features_json,
     write_graph_json,
 )
+from repro.io.stream import (
+    build_mmap_graph,
+    census_stream,
+    to_mmap_graph,
+    write_mmap_graph,
+)
 
 __all__ = [
+    "build_mmap_graph",
+    "census_stream",
     "features_from_dict",
     "features_to_dict",
     "graph_from_dict",
     "graph_to_dict",
+    "iter_edgelist",
     "read_edgelist",
     "read_features_json",
     "read_graph_json",
     "read_graphml",
+    "to_mmap_graph",
     "write_edgelist",
     "write_graphml",
     "write_features_json",
     "write_graph_json",
+    "write_mmap_graph",
 ]

@@ -42,17 +42,19 @@ def write_edgelist(graph: HeteroGraph, path: str | Path) -> None:
             handle.write(f"e {_escape(graph.node_id(u))} {_escape(graph.node_id(v))}\n")
 
 
-def read_edgelist(path: str | Path, labelset: LabelSet | None = None) -> HeteroGraph:
-    """Read a graph from the labelled edge-list format.
+def iter_edgelist(path: str | Path):
+    """Stream parse events from a labelled edge-list file.
 
-    Raises
-    ------
-    GraphError
-        On malformed lines, edges before their nodes, or duplicate nodes.
+    Yields ``("v", line_number, node_id, label)`` and
+    ``("e", line_number, u, v)`` tuples one line at a time — never the
+    whole file — raising :class:`~repro.exceptions.GraphError` with the
+    offending line number on malformed lines.  This is the single parser
+    shared by :func:`read_edgelist` (dict-backed graphs) and
+    :func:`repro.io.stream.build_mmap_graph` (out-of-core ingestion);
+    semantic checks (duplicate nodes, undeclared endpoints) belong to
+    the consumers, which keep the line number for their messages.
     """
     path = Path(path)
-    node_labels: dict[str, str] = {}
-    edges: list[tuple[str, str]] = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -60,18 +62,45 @@ def read_edgelist(path: str | Path, labelset: LabelSet | None = None) -> HeteroG
                 continue
             parts = line.split()
             if parts[0] == "v" and len(parts) == 3:
-                node_id = _unescape(parts[1])
-                if node_id in node_labels:
-                    raise GraphError(f"{path}:{line_number}: duplicate node {node_id!r}")
-                node_labels[node_id] = _unescape(parts[2])
+                yield "v", line_number, _unescape(parts[1]), _unescape(parts[2])
             elif parts[0] == "e" and len(parts) == 3:
-                u, v = _unescape(parts[1]), _unescape(parts[2])
-                for node in (u, v):
-                    if node not in node_labels:
-                        raise GraphError(
-                            f"{path}:{line_number}: edge references undeclared node {node!r}"
-                        )
-                edges.append((u, v))
+                yield "e", line_number, _unescape(parts[1]), _unescape(parts[2])
             else:
                 raise GraphError(f"{path}:{line_number}: malformed line {line!r}")
-    return HeteroGraph.from_edges(node_labels, edges, labelset=labelset)
+
+
+def read_edgelist(path: str | Path, labelset: LabelSet | None = None) -> HeteroGraph:
+    """Read a graph from the labelled edge-list format.
+
+    Streams the file in two passes instead of buffering an O(edges)
+    list: the first pass collects node labels (and validates that every
+    edge endpoint was declared on an earlier line), the second feeds
+    edges straight into :meth:`HeteroGraph.from_edges` as a generator,
+    so peak memory is the graph being built plus one line.
+
+    Raises
+    ------
+    GraphError
+        On malformed lines, edges before their nodes, or duplicate
+        nodes — each reported with its line number.
+    """
+    path = Path(path)
+    node_labels: dict[str, str] = {}
+    for kind, line_number, first, second in iter_edgelist(path):
+        if kind == "v":
+            if first in node_labels:
+                raise GraphError(f"{path}:{line_number}: duplicate node {first!r}")
+            node_labels[first] = second
+        else:
+            for node in (first, second):
+                if node not in node_labels:
+                    raise GraphError(
+                        f"{path}:{line_number}: edge references undeclared node {node!r}"
+                    )
+
+    def edge_stream():
+        for kind, _line_number, u, v in iter_edgelist(path):
+            if kind == "e":
+                yield u, v
+
+    return HeteroGraph.from_edges(node_labels, edge_stream(), labelset=labelset)

@@ -393,6 +393,33 @@ class ArtifactStore:
             self._stage_counts[stage] -= 1
             return True
 
+    def move(self, fingerprint: str, new_fingerprint: str, stage: str, config) -> bool:
+        """Atomically re-address one entry under a new fingerprint.
+
+        The serve-layer key migration used to emulate this with
+        ``get()`` + ``discard()`` + ``put()``, which deep-copied the
+        artifact twice per migrated root and polluted the hit counters
+        — and therefore :meth:`stats`'s hit-rate and payload accounting
+        — with pure bookkeeping traffic.  ``move`` re-keys the stored
+        object in place under the lock: no copies, no hit/miss
+        mutation, and exact stage entry counts (a pre-existing entry at
+        the destination is replaced, never double-counted).  The moved
+        entry lands at the newest LRU position, matching the recency
+        refresh the old emulation produced.  Returns whether a source
+        entry existed.
+        """
+        src = artifact_key(fingerprint, stage, config)
+        dst = artifact_key(new_fingerprint, stage, config)
+        with self._lock:
+            entry = self._entries.pop(src, None)
+            if entry is None:
+                return False
+            if dst in self._entries:
+                del self._entries[dst]
+                self._stage_counts[stage] -= 1
+            self._entries[dst] = entry
+            return True
+
     # -- introspection ----------------------------------------------------
     def stage_stats(self) -> dict[str, dict[str, int]]:
         """Per-stage ``{"hits": ..., "misses": ..., "entries": ...}`` view."""

@@ -377,15 +377,15 @@ class FeatureService:
             unaffected = sorted(tracked - ball)
             for root in unaffected:
                 store_config = census_store_config(census_config, root)
-                entry = self.store.get(old_fp, STAGE_CENSUS, store_config)
-                self.store.discard(old_fp, STAGE_CENSUS, store_config)
-                if entry is None:
+                # Atomic re-key: no deep copies, and the store's hit/miss
+                # and payload accounting see no phantom traffic from
+                # migration bookkeeping (see ArtifactStore.move).
+                if self.store.move(old_fp, new_fp, STAGE_CENSUS, store_config):
+                    migrated += 1
+                else:
                     # Evicted from the warm tier: recompute on next use.
                     tracked.discard(root)
                     self._drop_root_caches(variant, root)
-                    continue
-                self.store.put(new_fp, STAGE_CENSUS, store_config, entry)
-                migrated += 1
             for root in affected:
                 self.store.discard(
                     old_fp, STAGE_CENSUS, census_store_config(census_config, root)

@@ -97,6 +97,114 @@ class TestCensus:
         assert "classes" in capsys.readouterr().err
 
 
+class TestIngest:
+    def test_builds_hmg_and_census_matches(self, graph_hel, tmp_path, capsys):
+        hmg = tmp_path / "graph.hmg"
+        assert main(["ingest", graph_hel, "--out", str(hmg)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 7" in out
+        assert "fingerprint: " in out
+        assert hmg.exists()
+
+        assert main(["census", str(hmg), "--root", "i1", "--emax", "2"]) == 0
+        mmap_out = capsys.readouterr().out
+        assert main(["census", graph_hel, "--root", "i1", "--emax", "2"]) == 0
+        assert capsys.readouterr().out == mmap_out
+
+    def test_default_out_swaps_suffix(self, graph_hel, capsys):
+        assert main(["ingest", graph_hel]) == 0
+        out = capsys.readouterr().out
+        expected = graph_hel.removesuffix(".hel") + ".hmg"
+        assert f"{expected}: " in out
+
+    def test_chunk_edges_and_no_ids(self, graph_hel, tmp_path, capsys):
+        hmg = tmp_path / "dense.hmg"
+        assert main(
+            ["ingest", graph_hel, "--out", str(hmg), "--chunk-edges", "2", "--no-ids"]
+        ) == 0
+        capsys.readouterr()
+        from repro.core.mmap_graph import MmapGraph
+
+        with MmapGraph(hmg) as graph:
+            assert graph.node_id(0) == 0  # dense indices, no id table
+
+    def test_bad_line_reports_line_number(self, tmp_path):
+        bad = tmp_path / "bad.hel"
+        bad.write_text("v a A\ne a ghost\n")
+        with pytest.raises(SystemExit, match=r"bad\.hel:2: .*'ghost'"):
+            main(["ingest", str(bad), "--out", str(tmp_path / "bad.hmg")])
+        assert not (tmp_path / "bad.hmg").exists()
+
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["ingest", str(tmp_path / "absent.hel")])
+
+    def test_manifest_records_ingest_counters(self, graph_hel, tmp_path, capsys):
+        manifest_path = tmp_path / "run.json"
+        assert main(
+            [
+                "ingest",
+                graph_hel,
+                "--out",
+                str(tmp_path / "graph.hmg"),
+                "--telemetry-out",
+                str(manifest_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["command"] == "ingest"
+        assert manifest["counters"]["ingest/nodes"] == 7
+
+
+class TestMmapGraphFlag:
+    def test_census_mmap_matches_plain(self, graph_json, capsys):
+        assert main(["census", graph_json, "--root", "i1", "--emax", "2"]) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            ["census", graph_json, "--root", "i1", "--emax", "2", "--mmap-graph"]
+        ) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_features_mmap_matches_plain(self, graph_json, tmp_path, capsys):
+        def run(extra, name):
+            out_path = tmp_path / name
+            args = [
+                "features",
+                graph_json,
+                "--nodes",
+                "i1,a1,p1",
+                "--emax",
+                "2",
+                "--out",
+                str(out_path),
+            ] + extra
+            assert main(args) == 0
+            capsys.readouterr()
+            return json.loads(out_path.read_text())
+
+        assert run(["--mmap-graph"], "mm.json") == run([], "plain.json")
+
+    def test_manifest_records_mmap_storage(self, graph_json, tmp_path, capsys):
+        manifest_path = tmp_path / "run.json"
+        assert main(
+            [
+                "census",
+                graph_json,
+                "--root",
+                "i1",
+                "--emax",
+                "2",
+                "--mmap-graph",
+                "--telemetry-out",
+                str(manifest_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["provenance"]["annotations"]["census/storage"] == "mmap"
+
+
 class TestFeatures:
     def test_writes_json(self, graph_json, tmp_path, capsys):
         out_path = tmp_path / "features.json"

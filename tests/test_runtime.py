@@ -463,6 +463,81 @@ class TestArtifactStoreLRU:
         assert store.get(FP, "census", (1,)) == _Counter({101: 3, 202: 1})
 
 
+class TestArtifactStoreMove:
+    # Regression for the serve-layer key migration, which emulated a move
+    # with get() + discard() + put(): the payload/stage accounting saw
+    # phantom traffic (hits inflated once per migrated root) and every
+    # migration paid two deep copies of the artifact.
+
+    def test_move_rekeys_entry(self):
+        store = ArtifactStore()
+        store.put(FP, "census", (1,), {"rows": [1, 2]})
+        assert store.move(FP, "f" * 32, "census", (1,)) is True
+        assert store.get(FP, "census", (1,)) is None
+        assert store.get("f" * 32, "census", (1,)) == {"rows": [1, 2]}
+
+    def test_move_missing_source_returns_false(self):
+        store = ArtifactStore()
+        assert store.move(FP, "f" * 32, "census", (1,)) is False
+
+    def test_move_does_not_touch_hit_counters(self):
+        store = ArtifactStore()
+        for root in range(10):
+            store.put(FP, "census", (root,), root)
+        for root in range(10):
+            assert store.move(FP, "f" * 32, "census", (root,))
+        # Migration is bookkeeping, not lookups: the old emulation left
+        # hits == 10 here, poisoning the manifest's hit-rate stats.
+        assert store.hits == 0
+        assert store.misses == 0
+        assert store.stage_stats().get("census", {}).get("hits", 0) == 0
+
+    def test_move_keeps_payload_and_stage_counts_exact(self):
+        store = ArtifactStore()
+        for root in range(8):
+            store.put(FP, "census", (root,), list(range(64)))
+        before = store.stats()
+        for root in range(8):
+            store.move(FP, "f" * 32, "census", (root,))
+        after = store.stats()
+        assert after["entries"] == before["entries"] == 8
+        assert after["stages"]["census"]["entries"] == 8
+        assert after["approx_payload_bytes"] == before["approx_payload_bytes"]
+        assert store.stage_entries("census") == 8
+
+    def test_move_onto_existing_destination_replaces(self):
+        store = ArtifactStore()
+        store.put(FP, "census", (1,), "old-fp-entry")
+        store.put("f" * 32, "census", (1,), "new-fp-entry")
+        assert store.move(FP, "f" * 32, "census", (1,)) is True
+        assert store.get(FP, "census", (1,)) is None
+        assert store.get("f" * 32, "census", (1,)) == "old-fp-entry"
+        assert store.stage_entries("census") == 1
+        assert len(store) == 1
+
+    def test_move_avoids_deep_copies(self):
+        store = ArtifactStore()
+        payload = {"big": list(range(16))}
+        store.put(FP, "census", (1,), payload)
+        stored_before = store.get(FP, "census", (1,))
+        store.move(FP, "f" * 32, "census", (1,))
+        # The stored object is re-addressed, not round-tripped through
+        # the defensive-copy path of get()/put(); reads still copy.
+        got = store.get("f" * 32, "census", (1,))
+        assert got == stored_before
+        got["big"].append(99)
+        assert store.get("f" * 32, "census", (1,)) == stored_before
+
+    def test_move_lands_at_newest_lru_position(self):
+        store = ArtifactStore(max_entries=2)
+        store.put(FP, "census", (1,), "a")
+        store.put(FP, "census", (2,), "b")
+        store.move(FP, "f" * 32, "census", (1,))  # a becomes newest
+        store.put(FP, "census", (3,), "c")  # evicts b, the true LRU
+        assert store.get(FP, "census", (2,)) is None
+        assert store.get("f" * 32, "census", (1,)) == "a"
+
+
 class TestArtifactStoreConcurrency:
     def test_threaded_stress(self, tmp_path):
         # Regression for the unsynchronised store: concurrent put/get/
