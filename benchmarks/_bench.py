@@ -7,11 +7,17 @@ describing what was measured, and one ``gate`` block recording whether
 the speedup gate was enforced — and, when it was waived (e.g. too few
 cores for a parallelism gate), the reason, so a green CI run never
 silently means "gate not checked".
+
+``python -m benchmarks._bench summary`` renders the whole family as one
+trajectory table — every ``BENCH_*.json`` at the repo root, its
+headline metric, and its gate verdict — so a PR's perf story is one
+glance instead of seven files.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 #: Bump when the shared artefact layout changes shape (individual benches
@@ -64,3 +70,76 @@ def write_bench(
     path = bench_path(name)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
+
+
+#: Headline metric per artefact, preference-ordered: the first key
+#: present at an artefact's top level names its trajectory column.
+HEADLINE_METRICS = (
+    ("speedup", "{:.2f}x"),
+    ("throughput_rps", "{:.0f} req/s"),
+    ("tcp_throughput_rps", "{:.0f} req/s"),
+    ("roots_per_s", "{:.0f} roots/s"),
+    ("remote_roots_per_s", "{:.0f} roots/s"),
+    ("total_s", "{:.2f} s"),
+    ("elapsed_s", "{:.2f} s"),
+)
+
+
+def _headline(payload: dict) -> str:
+    for key, fmt in HEADLINE_METRICS:
+        value = payload.get(key)
+        if isinstance(value, (int, float)):
+            return f"{key}={fmt.format(value)}"
+    for key, value in payload.items():
+        if key in ("schema_version", "cpu_cores") or isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            return f"{key}={value:.3g}"
+    return "-"
+
+
+def _gate_cell(payload: dict) -> str:
+    gate = payload.get("gate")
+    if not isinstance(gate, dict):
+        return "none"
+    if gate.get("applied"):
+        return "enforced"
+    return f"waived: {gate.get('waiver', '?')}"
+
+
+def summarize(root: Path = REPO_ROOT) -> list[tuple[str, str, str]]:
+    """One (bench, headline, gate) row per ``BENCH_*.json`` under ``root``."""
+    rows = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            rows.append((name, f"unreadable: {exc}", "-"))
+            continue
+        rows.append((name, _headline(payload), _gate_cell(payload)))
+    return rows
+
+
+def print_summary(root: Path = REPO_ROOT) -> None:
+    rows = summarize(root)
+    if not rows:
+        print(f"no BENCH_*.json artefacts under {root}")
+        return
+    header = ("bench", "headline", "gate")
+    widths = [
+        max(len(header[col]), max(len(row[col]) for row in rows))
+        for col in range(3)
+    ]
+    line = "  ".join(header[col].ljust(widths[col]) for col in range(3))
+    print(line)
+    print("  ".join("-" * width for width in widths))
+    for row in rows:
+        print("  ".join(row[col].ljust(widths[col]) for col in range(3)))
+
+
+if __name__ == "__main__":
+    if sys.argv[1:] != ["summary"]:
+        print("usage: python -m benchmarks._bench summary", file=sys.stderr)
+        raise SystemExit(2)
+    print_summary()

@@ -67,6 +67,7 @@ from repro.runtime import (
     ENGINE_SAMPLED,
     EXACT_ENGINES,
     VALID_ENGINES,
+    VALID_EXECUTORS,
     ArtifactStore,
     Pipeline,
     RunContext,
@@ -155,10 +156,17 @@ def _build_context(args) -> RunContext:
     if store_path:
         store = ArtifactStore(store_path)
         get_telemetry().annotate("cache/path", str(store_path))
+    workers = getattr(args, "workers", None)
+    if workers:
+        workers = tuple(
+            spec.strip() for group in workers for spec in group.split(",") if spec.strip()
+        )
     return RunContext(
         engine=getattr(args, "engine", None),
         n_jobs=getattr(args, "n_jobs", None),
         partitions=getattr(args, "partitions", None),
+        executor=getattr(args, "executor", None),
+        workers=workers or None,
         seed=getattr(args, "seed", None),
         store=store,
     )
@@ -496,6 +504,7 @@ def cmd_label(args) -> int:
 def cmd_serve(args) -> int:
     import asyncio
 
+    from repro.net import parse_endpoint
     from repro.serve import (
         FeatureService,
         ReplayConfig,
@@ -521,9 +530,12 @@ def cmd_serve(args) -> int:
         with get_telemetry().span("phase/serve_warm"):
             warmed = service.warm()
         logger.info("warmed %d roots", warmed)
+    endpoint = parse_endpoint(
+        f"tcp:{args.tcp}" if args.tcp is not None else f"unix:{args.socket}"
+    )
     daemon = ServeDaemon(
         service,
-        args.socket,
+        endpoint,
         request_timeout=args.request_timeout,
         max_inflight=args.max_inflight,
     )
@@ -554,6 +566,35 @@ def cmd_serve(args) -> int:
     print(
         f"served {daemon.requests} requests "
         f"({daemon.shed_requests} shed, {daemon.timeouts} timeouts)"
+    )
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from repro.dist import PartitionConfig, partition_graph, run_worker
+    from repro.net import parse_endpoint
+
+    endpoint = parse_endpoint(args.listen)
+    shards = None
+    if args.graph is not None:
+        if args.partitions is None:
+            raise SystemExit("error: --graph preloading requires --partitions")
+        graph = _load_graph(args.graph, mmap=getattr(args, "mmap_graph", False))
+        config = CensusConfig(max_edges=args.emax, max_degree=args.dmax)
+        pset = partition_graph(
+            graph, PartitionConfig(num_partitions=args.partitions), config
+        )
+        wanted = (
+            sorted(int(s) for s in args.shards.split(","))
+            if args.shards
+            else range(len(pset))
+        )
+        shards = {i: pset.partitions[i] for i in wanted}
+        logger.info("preloaded shards %s", sorted(shards))
+    worker = run_worker(endpoint, partitions=shards)
+    print(
+        f"worker stopped after {worker.requests} requests "
+        f"({worker.censuses} censuses)"
     )
     return 0
 
@@ -677,6 +718,24 @@ def build_parser() -> argparse.ArgumentParser:
             "run; results are bit-identical (see docs/out_of_core.md)",
         )
 
+    def executor_args(p):
+        p.add_argument(
+            "--executor",
+            choices=VALID_EXECUTORS,
+            default=None,
+            help="where sharded census tasks run: a local process pool "
+            "(default) or repro worker daemons (requires --partitions "
+            "and --workers; see docs/distributed_census.md)",
+        )
+        p.add_argument(
+            "--workers",
+            action="append",
+            default=None,
+            metavar="ENDPOINT[,ENDPOINT...]",
+            help="worker endpoints (host:port or unix:path) for "
+            "--executor remote; repeat the flag or comma-separate",
+        )
+
     def census_args(p):
         p.add_argument("graph")
         p.add_argument("--emax", type=int, default=4, help="max subgraph edges")
@@ -705,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard the census over this many halo-complete graph "
             "partitions (default: fan out individual roots)",
         )
+        executor_args(p)
         mmap_args(p)
         store_args(p)
         common_args(p)
@@ -914,11 +974,17 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="feature-serving daemon with incremental census repair"
     )
     p_serve.add_argument("graph")
-    p_serve.add_argument(
+    listen = p_serve.add_mutually_exclusive_group(required=True)
+    listen.add_argument(
         "--socket",
-        required=True,
         metavar="PATH",
         help="unix domain socket to listen on (see docs/serving.md)",
+    )
+    listen.add_argument(
+        "--tcp",
+        metavar="HOST:PORT",
+        help="TCP endpoint to listen on instead of a unix socket "
+        "(port 0 binds an ephemeral port; the resolved address is logged)",
     )
     p_serve.add_argument("--emax", type=int, default=4, help="max subgraph edges")
     p_serve.add_argument("--dmax", type=int, default=None, help="hub degree cut-off")
@@ -984,6 +1050,43 @@ def build_parser() -> argparse.ArgumentParser:
     store_args(p_serve)
     common_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="shard-census worker daemon for --executor remote "
+        "(see docs/distributed_census.md)",
+    )
+    p_worker.add_argument(
+        "--listen",
+        required=True,
+        metavar="ENDPOINT",
+        help="endpoint to serve census RPCs on: host:port, unix:PATH, "
+        "or a socket path (TCP port 0 binds an ephemeral port)",
+    )
+    p_worker.add_argument(
+        "--graph",
+        default=None,
+        help="optional graph file to preload shards from (otherwise the "
+        "coordinator ships shards over the wire)",
+    )
+    p_worker.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="partition count used to cut preloaded shards (must match "
+        "the coordinator's --partitions)",
+    )
+    p_worker.add_argument(
+        "--shards",
+        default=None,
+        metavar="I[,I...]",
+        help="shard ids to preload (default: all of them)",
+    )
+    p_worker.add_argument("--emax", type=int, default=4, help="max subgraph edges")
+    p_worker.add_argument("--dmax", type=int, default=None, help="hub degree cut-off")
+    mmap_args(p_worker)
+    common_args(p_worker)
+    p_worker.set_defaults(func=cmd_worker)
 
     p_coll = sub.add_parser("collisions", help="enumerate encoding collisions")
     p_coll.add_argument("--labels", type=int, default=2)

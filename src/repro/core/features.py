@@ -414,6 +414,8 @@ class SubgraphFeatureExtractor:
                         engine=self.engine,
                         sampled=sampled,
                         n_jobs=self.n_jobs,
+                        executor=self.ctx.resolved_executor(),
+                        workers=self.ctx.workers,
                     )
                 )
             elif self.n_jobs == 1 or len(pending) < self.n_jobs:

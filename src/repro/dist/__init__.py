@@ -6,8 +6,14 @@ the node set into ``k`` owned ranges, expand each shard with the halo
 its roots can reach, and every shard censuses its own roots against a
 compact local adjacency — bit-identical to the single-shard engines.
 See ``docs/distributed_census.md`` for the partitioning scheme, the
-halo-depth derivation, and the merge semantics; a socket/RPC dispatch
-layer (ROADMAP item 2) plugs in above :func:`sharded_census_map`.
+halo-depth derivation, and the merge semantics.
+
+Above :func:`sharded_census_map` sits the cross-machine dispatch layer:
+``repro worker`` runs a :class:`~repro.dist.worker.ShardWorker` daemon
+on a :mod:`repro.net` endpoint, and ``executor="remote"`` routes the
+same shard tasks through :class:`~repro.dist.remote.RemoteExecutor`
+(shard shipping, per-shard timeouts, heartbeats, dead-worker
+reassignment) — results stay bit-identical to the local pool.
 """
 
 from repro.dist.partition import (
@@ -20,11 +26,13 @@ from repro.dist.partition import (
     partition_store_config,
     required_halo_depth,
 )
+from repro.dist.remote import RemoteExecutor
 from repro.dist.sharded import (
     ensure_partitions,
     sharded_census_map,
     subgraph_census_sharded,
 )
+from repro.dist.worker import WORKER_OPS, ShardWorker, run_worker
 
 __all__ = [
     "GraphPartition",
@@ -32,10 +40,14 @@ __all__ = [
     "PartitionGraph",
     "PartitionSet",
     "STRATEGIES",
+    "RemoteExecutor",
+    "ShardWorker",
+    "WORKER_OPS",
     "ensure_partitions",
     "partition_graph",
     "partition_store_config",
     "required_halo_depth",
+    "run_worker",
     "sharded_census_map",
     "subgraph_census_sharded",
 ]

@@ -39,7 +39,7 @@ from repro.dist.partition import (
 )
 from repro.exceptions import CensusError, PartitionError
 from repro.obs.telemetry import Telemetry, get_telemetry
-from repro.runtime.context import RunContext
+from repro.runtime.context import VALID_EXECUTORS, RunContext, resolve_engine
 from repro.runtime.store import STAGE_PARTITION
 
 
@@ -133,18 +133,28 @@ def sharded_census_map(
     engine: str | None = None,
     sampled: SampledCensusConfig | None = None,
     n_jobs: int = 1,
+    executor: str = "local",
+    workers: Sequence | None = None,
 ) -> dict:
     """Census unique global ``roots`` through the shards; return a dict.
 
     Roots are routed to their owning partition; shard tasks are
     dispatched heaviest-first (summed root degree) so straggler shards
     start early, mirroring the hub-first scheduling of the root-fanning
-    driver.  ``n_jobs == 1`` (or a single loaded shard) runs in-process
-    — no pool startup for small work.
+    driver.
+
+    ``executor="local"`` (the default) fans tasks over a process pool —
+    ``n_jobs == 1`` (or a single loaded shard) runs in-process, no pool
+    startup for small work.  ``executor="remote"`` ships the *same*
+    task list to ``workers`` (a sequence of ``repro worker`` endpoint
+    specs) through :class:`repro.dist.remote.RemoteExecutor`; the shard
+    census code is shared, so results are bit-identical either way.
     """
+    resolve_engine(executor, VALID_EXECUTORS, param="executor")
     telemetry = get_telemetry()
     telemetry.annotate("dist/partitions", len(partitions))
     telemetry.annotate("dist/strategy", partitions.config.strategy)
+    telemetry.annotate("dist/executor", executor)
     by_partition: dict[int, list] = {}
     for root in roots:
         root = int(root)
@@ -158,6 +168,17 @@ def sharded_census_map(
         key=lambda task: sum(degrees[r] for r in task[1]), reverse=True
     )
     results: dict = {}
+    if executor == "remote":
+        from repro.dist.remote import RemoteExecutor
+
+        if not workers:
+            raise PartitionError(
+                "executor='remote' needs worker endpoints "
+                "(--workers HOST:PORT[,HOST:PORT...])"
+            )
+        return RemoteExecutor(workers).census_map(
+            tasks, config, engine=engine, sampled=sampled, telemetry=telemetry
+        )
     if n_jobs == 1 or len(tasks) <= 1:
         for partition, owned_roots in tasks:
             results.update(
@@ -194,6 +215,8 @@ def subgraph_census_sharded(
     engine: str | None = None,
     sampled: SampledCensusConfig | None = None,
     n_jobs: int | None = None,
+    executor: str | None = None,
+    workers: Sequence | None = None,
     ctx: RunContext | None = None,
 ) -> list[Counter]:
     """Rooted censuses for ``nodes``, computed over graph shards.
@@ -221,6 +244,11 @@ def subgraph_census_sharded(
     n_jobs:
         Worker processes for the shard fan-out (``0``/``None`` = all
         cores via the context).
+    executor:
+        ``"local"`` (process pool, the default) or ``"remote"`` (ship
+        tasks to ``repro worker`` daemons over :mod:`repro.net`).
+    workers:
+        Worker endpoint specs for ``executor="remote"``.
     ctx:
         Optional :class:`~repro.runtime.context.RunContext`; supplies
         the artifact store memoising partition sets and default
@@ -234,7 +262,9 @@ def subgraph_census_sharded(
     """
     if config is None:
         config = CensusConfig()
-    ctx = RunContext.ensure(ctx, engine=engine, n_jobs=n_jobs)
+    ctx = RunContext.ensure(
+        ctx, engine=engine, n_jobs=n_jobs, executor=executor, workers=workers
+    )
     if isinstance(partitions, PartitionSet):
         pset = partitions
         if pset.fingerprint != graph.fingerprint():
@@ -259,6 +289,8 @@ def subgraph_census_sharded(
         engine=ctx.engine,
         sampled=sampled,
         n_jobs=ctx.resolved_n_jobs(default=1),
+        executor=ctx.resolved_executor(),
+        workers=ctx.workers,
     )
     results: list = [None] * len(nodes)
     for node, node_positions in positions.items():

@@ -1,0 +1,226 @@
+"""Shard-worker daemon: answer census RPCs for loaded graph shards.
+
+``repro worker --listen ENDPOINT`` runs one of these per machine (or
+per core, in a local topology test): an asyncio server on the shared
+:mod:`repro.net` substrate — same newline-framed JSON protocol, same
+typed error codes, same listener/connection loop as the feature-serving
+daemon — whose job is purely computational: hold halo-complete
+:class:`~repro.dist.partition.GraphPartition` shards in memory and
+census the roots the coordinator sends.
+
+Operations (blob payloads are pickled+zlib+base64, trusted deployments
+only — the worker protocol is for coordinator↔worker links you control,
+not the open internet):
+
+* ``ping`` — liveness + shard inventory (the remote executor's
+  heartbeat and scheduling both key off this).
+* ``load_shard`` — install a shipped :class:`GraphPartition` under its
+  partition id; idempotent, so a retried ship is harmless.
+* ``census`` — census the given global roots against a loaded shard via
+  the exact :func:`repro.dist.sharded._census_partition` the local pool
+  runs, returning results plus the worker-side telemetry snapshot —
+  this shared code path is what makes remote results bit-identical to
+  the in-process executor.
+* ``stats`` — counters for inspection.
+* ``shutdown`` — acknowledge, drain, exit.
+
+Census work runs on a single worker thread so one long shard census
+never blocks the event loop: heartbeats keep answering while the CPU
+burns, which is exactly the signal the coordinator needs to tell a
+*slow* worker from a *dead* one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.dist.partition import GraphPartition
+from repro.dist.sharded import _census_partition
+from repro.exceptions import ReproError
+from repro.net.endpoint import parse_endpoint
+from repro.net.protocol import (
+    MAX_LINE_BYTES,
+    NetError,
+    decode_blob,
+    decode_message,
+    encode_blob,
+    error_response,
+    ok_response,
+    require,
+)
+from repro.net.server import serve_lines, start_listener
+from repro.obs.log import get_logger
+from repro.obs.telemetry import Telemetry, get_telemetry
+
+logger = get_logger(__name__)
+
+#: Operations a shard worker answers.
+WORKER_OPS = ("ping", "load_shard", "census", "stats", "shutdown")
+
+
+class ShardWorker:
+    """One shard-holding census worker on a :mod:`repro.net` endpoint."""
+
+    def __init__(
+        self,
+        endpoint,
+        *,
+        partitions: dict[int, GraphPartition] | None = None,
+    ) -> None:
+        self.endpoint = parse_endpoint(endpoint)
+        self.shards: dict[int, GraphPartition] = dict(partitions or {})
+        self.requests = 0
+        self.censuses = 0
+        #: Census RPCs currently executing (0 or 1 — one compute thread);
+        #: visible through ``stats`` so orchestration tests and monitors
+        #: can tell a busy worker from an idle one.
+        self.inflight = 0
+        self._stop: asyncio.Event | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- lifecycle --------------------------------------------------------
+    async def run(self, ready: asyncio.Event | None = None) -> None:
+        """Serve census RPCs until ``shutdown`` (or :meth:`stop`)."""
+        self._stop = asyncio.Event()
+        # One census at a time: shard censuses are CPU-bound, and the
+        # coordinator assigns at most one task per worker anyway.  The
+        # loop itself stays free for pings.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-worker"
+        )
+        listener = await start_listener(
+            self.endpoint, self._handle_connection, limit=MAX_LINE_BYTES
+        )
+        self.endpoint = listener.endpoint
+        logger.info("worker serving on %s (pid %d)", self.endpoint, os.getpid())
+        if ready is not None:
+            ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            listener.close()
+            self._executor.shutdown(wait=True)
+            await listener.wait_closed()
+            logger.info(
+                "worker stopped after %d requests (%d censuses)",
+                self.requests,
+                self.censuses,
+            )
+
+    def stop(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+
+    # -- request handling -------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        await serve_lines(reader, writer, self._handle_line)
+
+    async def _handle_line(self, line: bytes) -> bytes:
+        telemetry = get_telemetry()
+        request_id = None
+        try:
+            request = decode_message(line)
+            request_id = request.get("id")
+            op = request["op"]
+            if op not in WORKER_OPS:
+                raise NetError("unknown_op", f"unknown worker op {op!r}")
+            handler = getattr(self, f"_op_{op}")
+            response = ok_response(request_id, await handler(request))
+        except NetError as exc:
+            telemetry.count("worker/errors")
+            response = error_response(request_id, exc.code, exc.message)
+        except ReproError as exc:
+            # Census/partition failures are the shard's problem, not the
+            # transport's: ship them back typed so the coordinator can
+            # fail the run with the real message instead of retrying.
+            telemetry.count("worker/errors")
+            response = error_response(request_id, "shard_error", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("internal error in worker request")
+            telemetry.count("worker/errors")
+            response = error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        self.requests += 1
+        telemetry.count("worker/requests")
+        return response
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {
+            "pid": os.getpid(),
+            "shards": sorted(self.shards),
+            "requests": self.requests,
+        }
+
+    async def _op_stats(self, request: dict) -> dict:
+        return {
+            "shards": sorted(self.shards),
+            "requests": self.requests,
+            "censuses": self.censuses,
+            "inflight": self.inflight,
+        }
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        self.stop()
+        return {"stopping": True}
+
+    async def _op_load_shard(self, request: dict) -> dict:
+        shard_id = require(request, "shard", int)
+        partition = decode_blob(require(request, "blob"))
+        if not isinstance(partition, GraphPartition):
+            raise NetError(
+                "bad_request",
+                f"load_shard blob decoded to {type(partition).__name__}, "
+                "expected GraphPartition",
+            )
+        if partition.part_id != shard_id:
+            raise NetError(
+                "bad_request",
+                f"shard id mismatch: frame says {shard_id}, "
+                f"partition says {partition.part_id}",
+            )
+        self.shards[shard_id] = partition
+        get_telemetry().count("worker/shards_loaded")
+        logger.info("loaded shard %d", shard_id)
+        return {"loaded": shard_id, "shards": sorted(self.shards)}
+
+    async def _op_census(self, request: dict) -> dict:
+        shard_id = require(request, "shard", int)
+        partition = self.shards.get(shard_id)
+        if partition is None:
+            raise NetError(
+                "shard_error",
+                f"shard {shard_id} not loaded "
+                f"(have {sorted(self.shards)}); ship it with load_shard",
+            )
+        roots, config, engine, sampled = decode_blob(require(request, "blob"))
+        loop = asyncio.get_running_loop()
+
+        def _run() -> bytes:
+            telemetry = Telemetry()
+            results = _census_partition(
+                partition, roots, config, engine, telemetry, sampled
+            )
+            return encode_blob((results, telemetry.snapshot()))
+
+        self.inflight += 1
+        try:
+            blob = await loop.run_in_executor(self._executor, _run)
+        finally:
+            self.inflight -= 1
+        self.censuses += 1
+        get_telemetry().count("worker/censuses")
+        return {"shard": shard_id, "blob": blob}
+
+
+def run_worker(
+    endpoint,
+    *,
+    partitions: dict[int, GraphPartition] | None = None,
+) -> ShardWorker:
+    """Blocking entry point behind ``repro worker``: serve until shutdown."""
+    worker = ShardWorker(endpoint, partitions=partitions)
+    asyncio.run(worker.run())
+    return worker

@@ -37,6 +37,13 @@ class PartitionError(ReproError):
     routed to a shard that does not contain them (see :mod:`repro.dist`)."""
 
 
+class RPCError(ReproError):
+    """Raised when a distributed run cannot complete over the wire: every
+    worker died, a shard could not be shipped, or a worker answered a
+    census RPC with a non-retryable protocol error (see
+    :mod:`repro.dist.remote`)."""
+
+
 class FeatureError(ReproError):
     """Raised when feature matrices cannot be constructed or aligned, e.g.
     transforming with an empty vocabulary."""

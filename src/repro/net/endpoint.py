@@ -1,0 +1,80 @@
+"""Endpoint specs: one address type for both transports.
+
+Everything that listens or connects in :mod:`repro.net` takes an
+:class:`Endpoint` — or any spec :func:`parse_endpoint` understands:
+
+* ``Endpoint(...)``            passed through unchanged
+* ``pathlib.Path``             unix domain socket at that path
+* ``"unix:/run/repro.sock"``   explicit unix socket
+* ``"tcp:host:port"``          explicit TCP
+* ``"host:port"``              TCP shorthand (what ``--tcp`` and
+  ``--workers`` accept; port ``0`` binds an ephemeral port)
+* any other string             unix socket path
+
+The shorthand rule is deliberate: a bare string is only treated as TCP
+when everything after the last ``:`` parses as a port number, so socket
+paths containing colons still round-trip through ``unix:``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One listen/connect address: a unix socket path or a TCP host:port."""
+
+    kind: str
+    path: str | None = None
+    host: str | None = None
+    port: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "unix":
+            if not self.path:
+                raise ValueError("unix endpoint requires a socket path")
+        elif self.kind == "tcp":
+            if not self.host:
+                raise ValueError("tcp endpoint requires a host")
+            if self.port is None or not 0 <= int(self.port) <= 65535:
+                raise ValueError(
+                    f"tcp endpoint requires a port in [0, 65535], got {self.port}"
+                )
+        else:
+            raise ValueError(f"unknown endpoint kind {self.kind!r}")
+
+    @property
+    def address(self) -> str:
+        """Canonical printable form (re-parseable by :func:`parse_endpoint`)."""
+        if self.kind == "unix":
+            return f"unix:{self.path}"
+        return f"{self.host}:{self.port}"
+
+    def __str__(self) -> str:
+        return self.address
+
+
+def parse_endpoint(spec) -> Endpoint:
+    """Normalise any endpoint spec to an :class:`Endpoint` (see module doc)."""
+    if isinstance(spec, Endpoint):
+        return spec
+    if isinstance(spec, Path):
+        return Endpoint("unix", path=str(spec))
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"endpoint spec must be an Endpoint, Path, or str, "
+            f"got {type(spec).__name__}"
+        )
+    if not spec:
+        raise ValueError("endpoint spec must not be empty")
+    if spec.startswith("unix:"):
+        return Endpoint("unix", path=spec[len("unix:"):])
+    body = spec[len("tcp:"):] if spec.startswith("tcp:") else spec
+    host, sep, port = body.rpartition(":")
+    if sep and host and port.isdigit():
+        return Endpoint("tcp", host=host, port=int(port))
+    if spec.startswith("tcp:"):
+        raise ValueError(f"malformed tcp endpoint {spec!r} (want tcp:host:port)")
+    return Endpoint("unix", path=spec)

@@ -1,0 +1,119 @@
+"""Listener abstraction: one asyncio server loop over either transport.
+
+:func:`start_listener` binds an :class:`~repro.net.endpoint.Endpoint`
+(unix socket or TCP) and returns a :class:`Listener` that normalises the
+differences: stale unix socket files are unlinked before binding and
+after closing, a TCP bind to port ``0`` reports the kernel-assigned
+port back through ``listener.endpoint``, and the per-line read limit is
+:data:`~repro.net.protocol.MAX_LINE_BYTES` for both.
+
+:func:`serve_lines` is the shared per-connection loop (read a framed
+line, hand it to the handler, write the response): the serving daemon
+and the shard workers run the exact same framing/teardown semantics —
+an oversized or mid-frame-truncated line drops the connection rather
+than buffering without bound, blank lines are skipped, and a handler
+cancelled by loop teardown completes quietly (a cancelled streams task
+makes 3.11's connection callback log a spurious traceback).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Awaitable, Callable
+
+from repro.net.endpoint import Endpoint, parse_endpoint
+from repro.net.protocol import MAX_LINE_BYTES
+
+
+class Listener:
+    """A bound server plus its (resolved) endpoint; closes transport-aware."""
+
+    def __init__(self, server: asyncio.AbstractServer, endpoint: Endpoint) -> None:
+        self.server = server
+        self.endpoint = endpoint
+
+    def close(self) -> None:
+        self.server.close()
+
+    async def wait_closed(self) -> None:
+        await self.server.wait_closed()
+        if self.endpoint.kind == "unix":
+            path = Path(self.endpoint.path)
+            if path.exists():
+                path.unlink()
+
+
+async def start_listener(
+    endpoint,
+    client_connected_cb,
+    *,
+    limit: int = MAX_LINE_BYTES,
+) -> Listener:
+    """Bind ``endpoint`` and serve connections through ``client_connected_cb``.
+
+    Returns a :class:`Listener` whose ``endpoint`` is fully resolved —
+    after a TCP bind to port ``0`` it carries the real port, so callers
+    can advertise where they actually listen.
+    """
+    endpoint = parse_endpoint(endpoint)
+    if endpoint.kind == "unix":
+        path = Path(endpoint.path)
+        if path.exists():
+            path.unlink()
+        server = await asyncio.start_unix_server(
+            client_connected_cb, path=str(path), limit=limit
+        )
+        return Listener(server, endpoint)
+    server = await asyncio.start_server(
+        client_connected_cb, host=endpoint.host, port=endpoint.port, limit=limit
+    )
+    host, port = server.sockets[0].getsockname()[:2]
+    if endpoint.port == 0:
+        endpoint = Endpoint("tcp", host=endpoint.host, port=int(port))
+    return Listener(server, endpoint)
+
+
+async def serve_lines(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    handle_line: Callable[[bytes], Awaitable[bytes]],
+) -> None:
+    """Run one connection's read-handle-respond loop until it ends.
+
+    ``handle_line`` receives each non-blank framed line and returns the
+    response bytes to write back (already newline-terminated).  It must
+    not raise: protocol servers map their failures to typed error
+    responses before returning.
+    """
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, ConnectionResetError):
+                # Oversized line or peer reset: drop the connection.
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            response = await handle_line(line)
+            writer.write(response)
+            try:
+                await writer.drain()
+            except ConnectionResetError:
+                break
+    except asyncio.CancelledError:
+        # Loop teardown cancelled this handler (connection still open at
+        # shutdown); complete normally rather than ending cancelled.
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.CancelledError,
+        ):  # pragma: no cover - close handshake already torn down
+            pass

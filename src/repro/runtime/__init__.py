@@ -11,7 +11,10 @@ from repro.runtime.context import (
     ENGINE_REFERENCE,
     ENGINE_SAMPLED,
     EXACT_ENGINES,
+    EXECUTOR_LOCAL,
+    EXECUTOR_REMOTE,
     VALID_ENGINES,
+    VALID_EXECUTORS,
     RunContext,
     resolve_engine,
     resolve_n_jobs,
@@ -37,6 +40,9 @@ __all__ = [
     "ENGINE_SAMPLED",
     "EXACT_ENGINES",
     "VALID_ENGINES",
+    "EXECUTOR_LOCAL",
+    "EXECUTOR_REMOTE",
+    "VALID_EXECUTORS",
     "Pipeline",
     "STAGES",
     "ArtifactStore",

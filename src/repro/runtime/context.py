@@ -48,6 +48,12 @@ EXACT_ENGINES = (ENGINE_FAST, ENGINE_REFERENCE)
 #: :data:`EXACT_ENGINES`.
 VALID_ENGINES = (ENGINE_FAST, ENGINE_REFERENCE, ENGINE_SAMPLED)
 
+#: Where the sharded census fan-out executes: a local process pool, or
+#: ``repro worker`` daemons reached over :mod:`repro.net`.
+EXECUTOR_LOCAL = "local"
+EXECUTOR_REMOTE = "remote"
+VALID_EXECUTORS = (EXECUTOR_LOCAL, EXECUTOR_REMOTE)
+
 
 def resolve_engine(
     name: str,
@@ -107,6 +113,13 @@ class RunContext:
         Shard count for the partitioned census (see :mod:`repro.dist`);
         ``None`` keeps the single-shard root-fanning path.  Stages
         resolve it through :meth:`resolved_partitions`.
+    executor:
+        Where shard tasks run: ``"local"`` (process pool) or
+        ``"remote"`` (``repro worker`` daemons over :mod:`repro.net`).
+        Resolved through :meth:`resolved_executor`.
+    workers:
+        Worker endpoint specs (``host:port`` / ``unix:path``) for
+        ``executor="remote"``.
     seed:
         Base RNG seed for stages that need one (embedding pipelines, the
         experiment drivers).
@@ -121,6 +134,8 @@ class RunContext:
     engine: str | None = None
     n_jobs: int | None = None
     partitions: int | None = None
+    executor: str | None = None
+    workers: "tuple | list | None" = None
     seed: int | None = None
     store: "ArtifactStore | None" = None
     telemetry: Telemetry | None = field(default=None, repr=False)
@@ -171,6 +186,11 @@ class RunContext:
             raise ValueError(f"partitions must be >= 1, got {spec}")
         return count
 
+    def resolved_executor(self, default: str = EXECUTOR_LOCAL) -> str:
+        """The shard executor (or ``default``), validated."""
+        name = self.executor if self.executor is not None else default
+        return resolve_engine(name, VALID_EXECUTORS, param="executor")
+
     def resolved_seed(self, default: int = 0) -> int:
         """The context seed, or ``default`` when unset."""
         return int(self.seed) if self.seed is not None else default
@@ -200,6 +220,10 @@ class RunContext:
             telemetry.annotate(f"{prefix}/n_jobs", self.resolved_n_jobs())
         if self.partitions is not None:
             telemetry.annotate(f"{prefix}/partitions", self.resolved_partitions())
+        if self.executor is not None:
+            telemetry.annotate(f"{prefix}/executor", self.resolved_executor())
+        if self.workers:
+            telemetry.annotate(f"{prefix}/workers", len(self.workers))
         if self.seed is not None:
             telemetry.annotate(f"{prefix}/seed", self.seed)
         if self.store is not None and self.store.path is not None:

@@ -1,13 +1,16 @@
 """Asyncio line-protocol daemon wrapping a :class:`FeatureService`.
 
-One event loop accepts unix-socket connections and reads newline-framed
-JSON requests (:mod:`repro.serve.protocol`).  Handlers execute in a
-thread pool so the census work of one request never stalls the loop, and
-a writer-preferring async reader/writer lock serialises mutations against
-reads: any number of read requests run concurrently, while an
-``add_edge``/``remove_edge`` waits for in-flight reads to drain, then
-runs alone — so no read ever observes a half-mutated graph or a census
-keyed under a superseded fingerprint.
+One event loop accepts connections — on a unix socket or a TCP
+``host:port``, whichever :class:`~repro.net.endpoint.Endpoint` it was
+given — and reads newline-framed JSON requests
+(:mod:`repro.net.protocol` framing, :mod:`repro.serve.protocol`
+operation tables).  Handlers execute in a thread pool so the census
+work of one request never stalls the loop, and a writer-preferring
+async reader/writer lock serialises mutations against reads: any number
+of read requests run concurrently, while an ``add_edge``/``remove_edge``
+waits for in-flight reads to drain, then runs alone — so no read ever
+observes a half-mutated graph or a census keyed under a superseded
+fingerprint.
 
 Graceful degradation, in order of application:
 
@@ -19,6 +22,10 @@ Graceful degradation, in order of application:
   the daemon keeps the request's lock slot held until the orphaned
   thread actually finishes (a background drain task releases it), so a
   timed-out mutation can never overlap with subsequent requests.
+  Live orphans are tracked in ``daemon.orphaned`` and the
+  ``serve/orphaned`` peak gauge; when they exceed half of
+  ``max_inflight`` the daemon logs a warning — that many stuck slots
+  means shedding is imminent.
 * **Shutdown** — the ``shutdown`` op acknowledges, then stops accepting
   and wakes :meth:`ServeDaemon.run` to close the server.
 
@@ -35,6 +42,9 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 from repro.exceptions import GraphError
+from repro.net.endpoint import parse_endpoint
+from repro.net.protocol import MAX_LINE_BYTES
+from repro.net.server import serve_lines, start_listener
 from repro.obs.log import get_logger
 from repro.obs.telemetry import get_telemetry
 from repro.serve.protocol import (
@@ -50,9 +60,7 @@ from repro.serve.service import FeatureService
 
 logger = get_logger(__name__)
 
-#: Upper bound on one request line (1 MiB) — protects the reader from
-#: an unframed stream.
-MAX_LINE_BYTES = 1 << 20
+__all__ = ["MAX_LINE_BYTES", "ServeDaemon"]
 
 
 class _RWLock:
@@ -99,12 +107,12 @@ class _RWLock:
 
 
 class ServeDaemon:
-    """Serve a :class:`FeatureService` over a unix domain socket."""
+    """Serve a :class:`FeatureService` over a unix socket or TCP endpoint."""
 
     def __init__(
         self,
         service: FeatureService,
-        socket_path: str | Path,
+        endpoint,
         *,
         request_timeout: float = 30.0,
         max_inflight: int = 64,
@@ -115,7 +123,7 @@ class ServeDaemon:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.service = service
-        self.socket_path = Path(socket_path)
+        self.endpoint = parse_endpoint(endpoint)
         self.request_timeout = float(request_timeout)
         self.max_inflight = int(max_inflight)
         self._workers = workers
@@ -127,13 +135,22 @@ class ServeDaemon:
         self.requests = 0
         self.shed_requests = 0
         self.timeouts = 0
+        #: Timed-out requests whose worker thread is still running (each
+        #: holds an inflight slot + lock side until its drain completes).
+        self.orphaned = 0
+
+    @property
+    def socket_path(self) -> Path | None:
+        """The unix socket path (``None`` on a TCP endpoint)."""
+        return Path(self.endpoint.path) if self.endpoint.kind == "unix" else None
 
     # -- lifecycle --------------------------------------------------------
     async def run(self, ready: asyncio.Event | None = None) -> None:
         """Accept connections until :meth:`stop` (or a ``shutdown`` op).
 
-        ``ready`` (if given) is set once the socket is listening —
-        orchestrators start their clients on it.
+        ``ready`` (if given) is set once the listener is bound —
+        orchestrators start their clients on it.  A TCP bind to port
+        ``0`` resolves ``self.endpoint`` to the real port first.
         """
         self._lock = _RWLock()
         self._stop = asyncio.Event()
@@ -147,25 +164,22 @@ class ServeDaemon:
         telemetry = get_telemetry()
         telemetry.count("serve/shed_requests", 0)
         telemetry.count("serve/timeouts", 0)
-        if self.socket_path.exists():
-            self.socket_path.unlink()
-        server = await asyncio.start_unix_server(
-            self._handle_connection, path=str(self.socket_path), limit=MAX_LINE_BYTES
+        listener = await start_listener(
+            self.endpoint, self._handle_connection, limit=MAX_LINE_BYTES
         )
-        logger.info("serving on %s", self.socket_path)
+        self.endpoint = listener.endpoint
+        logger.info("serving on %s", self.endpoint)
         if ready is not None:
             ready.set()
         try:
             await self._stop.wait()
         finally:
-            server.close()
-            await server.wait_closed()
+            listener.close()
             # Let timed-out stragglers finish before tearing down.
             for drain in list(self._drains):
                 await drain
             self._executor.shutdown(wait=True)
-            if self.socket_path.exists():
-                self.socket_path.unlink()
+            await listener.wait_closed()
             logger.info(
                 "stopped after %d requests (%d shed, %d timeouts)",
                 self.requests,
@@ -182,39 +196,7 @@ class ServeDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ValueError, ConnectionResetError):
-                    # Oversized line or peer reset: drop the connection.
-                    break
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                response = await self._handle_line(line)
-                writer.write(response)
-                try:
-                    await writer.drain()
-                except ConnectionResetError:
-                    break
-        except asyncio.CancelledError:
-            # Loop teardown cancelled this handler (connection still open
-            # at shutdown).  Complete normally: a handler task that ends
-            # cancelled makes 3.11's streams connection callback log a
-            # spurious error traceback.
-            pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (
-                ConnectionResetError,
-                BrokenPipeError,
-                asyncio.CancelledError,
-            ):  # pragma: no cover - close handshake already torn down
-                pass
+        await serve_lines(reader, writer, self._handle_line)
 
     async def _handle_line(self, line: bytes) -> bytes:
         telemetry = get_telemetry()
@@ -289,7 +271,17 @@ class ServeDaemon:
             # task that waits out the still-running worker thread.
             handed_off = True
             self.timeouts += 1
-            get_telemetry().count("serve/timeouts")
+            self.orphaned += 1
+            telemetry = get_telemetry()
+            telemetry.count("serve/timeouts")
+            telemetry.gauge_max("serve/orphaned", self.orphaned)
+            if self.orphaned > self.max_inflight / 2:
+                logger.warning(
+                    "%d orphaned request threads hold inflight slots "
+                    "(max_inflight=%d); shedding is imminent",
+                    self.orphaned,
+                    self.max_inflight,
+                )
             drain = asyncio.ensure_future(self._drain(future, write))
             self._drains.add(drain)
             drain.add_done_callback(self._drains.discard)
@@ -312,6 +304,7 @@ class ServeDaemon:
         except Exception:  # noqa: BLE001 - the client already got a timeout
             logger.debug("timed-out request failed after deadline", exc_info=True)
         finally:
+            self.orphaned -= 1
             self._inflight -= 1
             if write:
                 await self._lock.release_write()

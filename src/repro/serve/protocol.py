@@ -1,13 +1,14 @@
-"""JSON line protocol of the feature-serving daemon.
+"""Operation tables of the feature-serving protocol.
 
-One request per line, one response per line, UTF-8 JSON both ways::
+The wire format itself — newline-framed JSON, typed error codes, the
+``require``/response helpers — lives in :mod:`repro.net.protocol`, the
+transport-agnostic substrate this daemon shares with the shard-worker
+RPC layer.  This module layers the *serving* contract on top: which
+operations exist and which side of the reader/writer lock each runs
+under.
 
     -> {"id": 1, "op": "features", "node": "MIT"}
     <- {"id": 1, "ok": true, "result": {"node": "MIT", "total": 42, ...}}
-
-    -> {"id": 2, "op": "add_edge", "u": "MIT", "v": "KDD"}
-    <- {"id": 2, "ok": false,
-        "error": {"code": "graph_error", "message": "duplicate edge ..."}}
 
 ``id`` is echoed verbatim so clients can pipeline requests over several
 connections; it may be any JSON value (``null`` when omitted).  Errors
@@ -20,7 +21,21 @@ semantics of the write path — is documented in ``docs/serving.md``.
 
 from __future__ import annotations
 
-import json
+from repro.net.protocol import (
+    ERROR_CODES,
+    NetError,
+    decode_message,
+    error_response,
+    ok_response,
+    require,
+)
+
+#: The serving daemon's protocol failures are plain net errors; the
+#: historical name survives for the service layer and external callers.
+ServeError = NetError
+
+#: Decode one request line (see :func:`repro.net.protocol.decode_message`).
+decode_request = decode_message
 
 #: Operations answered while holding the shared (read) side of the
 #: graph lock; they never modify service state beyond caches.
@@ -35,96 +50,15 @@ CONTROL_OPS = ("shutdown",)
 
 VALID_OPS = READ_OPS + WRITE_OPS + CONTROL_OPS
 
-#: Typed error codes (the protocol's contract with clients):
-#:
-#: ``bad_request``     malformed JSON / missing or mistyped parameters
-#: ``unknown_op``      an ``op`` outside :data:`VALID_OPS`
-#: ``unknown_node``    a node id the graph does not contain
-#: ``graph_error``     an invalid mutation (duplicate edge, self loop, ...)
-#: ``overloaded``      shed: too many requests in flight, retry later
-#: ``timeout``         the request exceeded the daemon's time budget
-#: ``shutting_down``   received while the daemon is draining
-#: ``internal``        unexpected server-side failure
-ERROR_CODES = (
-    "bad_request",
-    "unknown_op",
-    "unknown_node",
-    "graph_error",
-    "overloaded",
-    "timeout",
-    "shutting_down",
-    "internal",
-)
-
-
-class ServeError(Exception):
-    """A protocol-level failure carrying one of :data:`ERROR_CODES`."""
-
-    def __init__(self, code: str, message: str) -> None:
-        if code not in ERROR_CODES:
-            raise ValueError(f"unknown serve error code {code!r}")
-        super().__init__(message)
-        self.code = code
-        self.message = message
-
-
-def decode_request(line: bytes | str) -> dict:
-    """Parse one request line into a dict; raises :class:`ServeError`.
-
-    Guarantees the result is a JSON object with a string ``op`` — other
-    parameter validation is per-operation (see the service layer).
-    """
-    if isinstance(line, bytes):
-        try:
-            line = line.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise ServeError("bad_request", f"request is not UTF-8: {exc}")
-    try:
-        request = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise ServeError("bad_request", f"request is not valid JSON: {exc}")
-    if not isinstance(request, dict):
-        raise ServeError(
-            "bad_request", f"request must be a JSON object, got {type(request).__name__}"
-        )
-    op = request.get("op")
-    if not isinstance(op, str):
-        raise ServeError("bad_request", "request is missing a string 'op' field")
-    return request
-
-
-def ok_response(request_id, result) -> bytes:
-    """Encode a success response line (newline-terminated UTF-8)."""
-    return (
-        json.dumps({"id": request_id, "ok": True, "result": result}) + "\n"
-    ).encode("utf-8")
-
-
-def error_response(request_id, code: str, message: str) -> bytes:
-    """Encode a typed error response line (newline-terminated UTF-8)."""
-    if code not in ERROR_CODES:
-        code, message = "internal", f"(bad error code {code!r}) {message}"
-    return (
-        json.dumps(
-            {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
-        )
-        + "\n"
-    ).encode("utf-8")
-
-
-def require(request: dict, field: str, kind=str):
-    """Fetch a typed field from a request; raises ``bad_request`` if absent.
-
-    ``kind`` may be a type or tuple of types; ``bool`` is rejected where
-    an int is required (JSON ``true`` is not a count).
-    """
-    value = request.get(field)
-    if kind is int and isinstance(value, bool):
-        value = None
-    if value is None or not isinstance(value, kind):
-        wanted = getattr(kind, "__name__", str(kind))
-        raise ServeError(
-            "bad_request",
-            f"op {request.get('op')!r} requires a {wanted} field {field!r}",
-        )
-    return value
+__all__ = [
+    "CONTROL_OPS",
+    "ERROR_CODES",
+    "READ_OPS",
+    "VALID_OPS",
+    "WRITE_OPS",
+    "ServeError",
+    "decode_request",
+    "error_response",
+    "ok_response",
+    "require",
+]

@@ -3,8 +3,10 @@
 The perf gate (``benchmarks/test_perf_serve.py``) and the CLI's
 ``repro serve --replay N`` mode both use this module: generate a
 deterministic trace of feature/rank/label reads interleaved with edge
-mutations, fire it at a live daemon over several unix-socket
-connections, and report client-side throughput and latency percentiles.
+mutations, fire it at a live daemon over several connections — unix
+socket or TCP, whatever endpoint the daemon is bound to (connections go
+through :func:`repro.net.open_connection`) — and report client-side
+throughput and latency percentiles.
 
 Correctness under concurrency: every *write* executes in trace order on
 one dedicated connection (the daemon handles a connection's requests
@@ -20,11 +22,12 @@ import asyncio
 import json
 import time
 from dataclasses import dataclass, field
-from pathlib import Path
 
 import numpy as np
 
 from repro.core.graph import HeteroGraph
+from repro.net.client import open_connection
+from repro.net.endpoint import Endpoint, parse_endpoint
 from repro.obs.log import get_logger
 from repro.serve.daemon import ServeDaemon
 from repro.serve.service import FeatureService, ServeConfig
@@ -161,11 +164,11 @@ class ReplayReport:
 
 
 async def _run_connection(
-    socket_path: Path, requests: list[dict], report: ReplayReport, lock: asyncio.Lock
+    endpoint: Endpoint, requests: list[dict], report: ReplayReport, lock: asyncio.Lock
 ) -> None:
     if not requests:
         return
-    reader, writer = await asyncio.open_unix_connection(str(socket_path))
+    reader, writer = await open_connection(endpoint)
     try:
         for request in requests:
             payload = (json.dumps(request) + "\n").encode("utf-8")
@@ -194,14 +197,16 @@ async def _run_connection(
 
 
 async def replay(
-    socket_path: str | Path, trace: list[dict], connections: int = 8
+    endpoint, trace: list[dict], connections: int = 8
 ) -> ReplayReport:
     """Fire ``trace`` at a live daemon; returns the client-side report.
 
-    Connection 0 executes every write in trace order; reads are dealt
-    round-robin across the remaining connections.
+    ``endpoint`` is anything :func:`repro.net.parse_endpoint` accepts —
+    a unix socket path or a TCP ``host:port``.  Connection 0 executes
+    every write in trace order; reads are dealt round-robin across the
+    remaining connections.
     """
-    socket_path = Path(socket_path)
+    endpoint = parse_endpoint(endpoint)
     writes = [r for r in trace if r["op"] in ("add_edge", "remove_edge")]
     reads = [r for r in trace if r["op"] not in ("add_edge", "remove_edge")]
     reader_lanes = max(1, connections - 1)
@@ -212,9 +217,9 @@ async def replay(
     lock = asyncio.Lock()
     started = time.perf_counter()
     await asyncio.gather(
-        _run_connection(socket_path, writes, report, lock),
+        _run_connection(endpoint, writes, report, lock),
         *(
-            _run_connection(socket_path, lane, report, lock)
+            _run_connection(endpoint, lane, report, lock)
             for lane in lanes
         ),
     )
@@ -230,7 +235,8 @@ async def serve_and_replay(
     server_task = asyncio.create_task(daemon.run(ready))
     await ready.wait()
     try:
-        return await replay(daemon.socket_path, trace, connections=connections)
+        # daemon.endpoint is resolved by run() (real port after a :0 bind).
+        return await replay(daemon.endpoint, trace, connections=connections)
     finally:
         daemon.stop()
         await server_task
@@ -238,7 +244,7 @@ async def serve_and_replay(
 
 def run_in_process(
     graph: HeteroGraph,
-    socket_path: str | Path,
+    endpoint,
     *,
     serve_config: ServeConfig | None = None,
     replay_config: ReplayConfig | None = None,
@@ -248,8 +254,9 @@ def run_in_process(
 ) -> tuple[ReplayReport, FeatureService]:
     """One-call orchestrator: build service, warm it, serve, replay, stop.
 
-    Used by the perf gate and ``repro serve --replay``; returns the
-    client-side report and the (stopped) service for inspection.
+    Used by the perf gate and ``repro serve --replay``; ``endpoint`` is
+    a unix socket path or TCP ``host:port``.  Returns the client-side
+    report and the (stopped) service for inspection.
     """
     replay_config = replay_config if replay_config is not None else ReplayConfig()
     service = FeatureService(graph, serve_config)
@@ -258,7 +265,7 @@ def run_in_process(
     trace = generate_trace(service.graph, replay_config)
     daemon = ServeDaemon(
         service,
-        socket_path,
+        endpoint,
         request_timeout=request_timeout,
         max_inflight=max_inflight,
     )

@@ -768,3 +768,63 @@ class TestPartitionedCensusCLI:
         assert manifest["artifact_store"]["entries"] > 0
         assert manifest["artifact_store"]["approx_payload_bytes"] > 0
         assert manifest["artifact_store"]["stages"]["partition"]["entries"] == 1
+
+
+class TestNetCLI:
+    """Parser plumbing for the net layer: serve transports, worker, executor."""
+
+    def test_serve_requires_a_listen_flag(self, graph_json):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve", graph_json])
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["serve", graph_json, "--socket", "/tmp/a", "--tcp", "h:1"]
+            )
+        args = parser.parse_args(["serve", graph_json, "--tcp", "127.0.0.1:0"])
+        assert args.tcp == "127.0.0.1:0"
+        assert args.socket is None
+
+    def test_worker_parser(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["worker"])  # --listen is required
+        args = parser.parse_args(
+            ["worker", "--listen", "127.0.0.1:0", "--partitions", "2"]
+        )
+        assert args.listen == "127.0.0.1:0"
+        assert args.func is not None
+
+    def test_worker_preload_requires_partitions(self, graph_json):
+        with pytest.raises(SystemExit):
+            main(["worker", "--listen", "127.0.0.1:0", "--graph", graph_json])
+
+    def test_workers_flag_builds_context_tuple(self, graph_json):
+        from repro.cli import _build_context, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "census", graph_json, "--root", "i1",
+                "--executor", "remote",
+                "--workers", "127.0.0.1:9001,127.0.0.1:9002",
+                "--workers", "unix:/run/w3.sock",
+            ]
+        )
+        ctx = _build_context(args)
+        assert ctx.executor == "remote"
+        assert ctx.workers == (
+            "127.0.0.1:9001", "127.0.0.1:9002", "unix:/run/w3.sock"
+        )
+
+    def test_bad_executor_rejected(self, graph_json):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["census", graph_json, "--root", "i1", "--executor", "carrier"]
+            )

@@ -22,6 +22,11 @@ BENCHMARKS = REPO / "benchmarks"
 #: Files whose stdout IS their product: the CLI prints tables/results.
 ALLOWED = {"cli.py"}
 
+#: Benchmark helpers whose stdout IS their product: ``_bench.py`` renders
+#: the cross-artefact trajectory table (``python -m benchmarks._bench
+#: summary``).
+BENCH_ALLOWED = {"_bench.py"}
+
 #: A call to the ``print`` builtin: not preceded by an attribute access or
 #: identifier character (so ``pprint(``, ``self.print(`` don't match).
 BARE_PRINT = re.compile(r"(?<![\w.])print\(")
@@ -42,8 +47,8 @@ def iter_offenders():
             continue
         yield from _scan(path, SRC.parent)
     for path in sorted(BENCHMARKS.rglob("*.py")):
-        if path.name.startswith("test_"):
-            continue  # bench bodies render their tables to stdout
+        if path.name.startswith("test_") or path.name in BENCH_ALLOWED:
+            continue  # bench bodies and the summary CLI print their product
         yield from _scan(path, REPO)
 
 
